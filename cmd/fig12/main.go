@@ -1,0 +1,43 @@
+// Command fig12 regenerates Figure 12 of the paper: the performance impact
+// of the DRAMmalloc NRnodes placement parameter on PageRank and BFS with
+// compute held fixed. Only one number changes per row — the NRnodes
+// argument of the allocation call.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"updown/internal/harness"
+)
+
+func main() {
+	compute := flag.Int("compute", 16, "fixed compute node count (the paper uses 64)")
+	mem := flag.String("mem", "1,2,4,8,16", "memory-node sweep (NRnodes)")
+	scale := flag.Int("scale", 14, "log2 vertex count")
+	bw := flag.Int("dram-bw", 100, "per-node DRAM bytes/cycle (paper hardware: 4700; the reduced default keeps the reduced-scale graph memory-bound)")
+	seed := flag.Uint64("seed", 42, "generator seed")
+	shards := flag.Int("shards", 0, "simulator host parallelism (0 = auto)")
+	markdown := flag.Bool("markdown", false, "emit GitHub-markdown tables")
+	flag.Parse()
+
+	ms, err := harness.ParseNodeList(*mem)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tables, err := harness.Fig12Placement(harness.Fig12Options{
+		ComputeNodes: *compute, MemNodes: ms, Scale: *scale,
+		DRAMBytesPerCycle: *bw, Seed: *seed, Shards: *shards,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, t := range tables {
+		if *markdown {
+			fmt.Print(t.Markdown())
+		} else {
+			fmt.Println(t.Format())
+		}
+	}
+}

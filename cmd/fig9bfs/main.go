@@ -1,0 +1,56 @@
+// Command fig9bfs regenerates Figure 9 (center) / Table 9 of the paper:
+// BFS strong scaling over UpDown node counts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"updown/internal/baseline"
+	"updown/internal/graph"
+	"updown/internal/harness"
+)
+
+func main() {
+	scale := flag.Int("scale", 16, "log2 vertex count")
+	nodes := flag.String("nodes", "1,2,4,8,16", "comma-separated node counts")
+	presets := flag.String("graphs", "rmat,com-orkut,soc-livej", "workload presets")
+	seed := flag.Uint64("seed", 42, "generator seed")
+	shards := flag.Int("shards", 0, "simulator host parallelism (0 = auto)")
+	validate := flag.Bool("validate", true, "cross-check against host baseline")
+	abs := flag.Bool("abs", false, "also measure the host multicore baseline wall-clock")
+	markdown := flag.Bool("markdown", false, "emit GitHub-markdown tables")
+	flag.Parse()
+
+	ns, err := harness.ParseNodeList(*nodes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tables, err := harness.Fig9BFS(harness.Fig9Options{
+		Scale: *scale, Nodes: ns, Presets: strings.Split(*presets, ","),
+		Seed: *seed, Shards: *shards, Validate: *validate,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, t := range tables {
+		if *markdown {
+			fmt.Print(t.Markdown())
+		} else {
+			fmt.Println(t.Format())
+		}
+	}
+	if *abs {
+		p, _ := graph.PresetByName("rmat")
+		g := graph.FromEdges(1<<*scale, p.Build(*scale, *seed), graph.BuildOptions{
+			Dedup: true, DropSelfLoops: true, SortNeighbors: true})
+		start := time.Now()
+		baseline.BFSParallel(g, 28, 0)
+		el := time.Since(start).Seconds()
+		fmt.Printf("host multicore baseline: %d edges in %.4fs = %.4f GTEPS\n",
+			g.NumEdges(), el, float64(g.NumEdges())/el/1e9)
+	}
+}

@@ -1,0 +1,70 @@
+// Command fig9pr regenerates Figure 9 (left) / Table 8 of the paper:
+// PageRank strong scaling over UpDown node counts.
+//
+// Defaults are reduced-scale (minutes); approach the paper's configuration
+// with e.g.
+//
+//	fig9pr -scale 20 -nodes 1,2,4,8,16,32,64,128,256
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"updown/internal/baseline"
+	"updown/internal/graph"
+	"updown/internal/harness"
+)
+
+func main() {
+	scale := flag.Int("scale", 16, "log2 vertex count")
+	nodes := flag.String("nodes", "1,2,4,8,16", "comma-separated node counts")
+	presets := flag.String("graphs", "rmat,erdos-renyi,forest-fire,twitter", "workload presets")
+	iters := flag.Int("iters", 1, "PageRank iterations")
+	seed := flag.Uint64("seed", 42, "generator seed")
+	shards := flag.Int("shards", 0, "simulator host parallelism (0 = auto)")
+	validate := flag.Bool("validate", true, "cross-check against host baseline")
+	abs := flag.Bool("abs", false, "also measure the host multicore baseline wall-clock")
+	markdown := flag.Bool("markdown", false, "emit GitHub-markdown tables")
+	flag.Parse()
+
+	ns, err := harness.ParseNodeList(*nodes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tables, err := harness.Fig9PageRank(harness.Fig9Options{
+		Scale: *scale, Nodes: ns, Presets: strings.Split(*presets, ","),
+		Iterations: *iters, Seed: *seed, Shards: *shards, Validate: *validate,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, t := range tables {
+		if *markdown {
+			fmt.Print(t.Markdown())
+		} else {
+			fmt.Println(t.Format())
+		}
+	}
+	if *abs {
+		reportHostPR(*scale, *seed, *iters)
+	}
+	_ = os.Stdout
+}
+
+// reportHostPR measures the conventional-multicore comparator, the stand-in
+// for the paper's Perlmutter reference (Section 5.2.1).
+func reportHostPR(scale int, seed uint64, iters int) {
+	p, _ := graph.PresetByName("rmat")
+	g := graph.FromEdges(1<<scale, p.Build(scale, seed), graph.BuildOptions{
+		Dedup: true, DropSelfLoops: true, SortNeighbors: true})
+	start := time.Now()
+	baseline.PageRankParallel(g, iters, 0)
+	el := time.Since(start).Seconds()
+	fmt.Printf("host multicore baseline: %d edges x %d iters in %.4fs = %.4f GUPS\n",
+		g.NumEdges(), iters, el, float64(g.NumEdges())*float64(iters)/el/1e9)
+}

@@ -1,0 +1,42 @@
+// Command fig9tc regenerates Figure 9 (right) / Table 10 of the paper:
+// triangle-counting strong scaling over UpDown node counts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"updown/internal/harness"
+)
+
+func main() {
+	scale := flag.Int("scale", 11, "log2 vertex count")
+	nodes := flag.String("nodes", "1,2,4,8,16", "comma-separated node counts")
+	presets := flag.String("graphs", "friendster,com-orkut,soc-livej,rmat", "workload presets")
+	seed := flag.Uint64("seed", 42, "generator seed")
+	shards := flag.Int("shards", 0, "simulator host parallelism (0 = auto)")
+	validate := flag.Bool("validate", true, "cross-check against host baseline")
+	markdown := flag.Bool("markdown", false, "emit GitHub-markdown tables")
+	flag.Parse()
+
+	ns, err := harness.ParseNodeList(*nodes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tables, err := harness.Fig9TC(harness.Fig9Options{
+		Scale: *scale, Nodes: ns, Presets: strings.Split(*presets, ","),
+		Seed: *seed, Shards: *shards, Validate: *validate,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, t := range tables {
+		if *markdown {
+			fmt.Print(t.Markdown())
+		} else {
+			fmt.Println(t.Format())
+		}
+	}
+}

@@ -1,0 +1,99 @@
+// Command loccount regenerates the paper's Table 5 programmability metric
+// for this repository: lines of code per library/abstraction, separating
+// source from tests, so the cost of each abstraction (KVMSR, SHT,
+// combining cache, DRAMmalloc, ...) is visible.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io/fs"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	root := flag.String("root", ".", "repository root")
+	markdown := flag.Bool("markdown", false, "emit a GitHub-markdown table")
+	flag.Parse()
+
+	type counts struct{ src, test int }
+	perPkg := map[string]*counts{}
+	err := filepath.WalkDir(*root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		rel, _ := filepath.Rel(*root, path)
+		pkg := filepath.Dir(rel)
+		c := perPkg[pkg]
+		if c == nil {
+			c = &counts{}
+			perPkg[pkg] = c
+		}
+		n, err := countLines(path)
+		if err != nil {
+			return err
+		}
+		if strings.HasSuffix(path, "_test.go") {
+			c.test += n
+		} else {
+			c.src += n
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var pkgs []string
+	for p := range perPkg {
+		pkgs = append(pkgs, p)
+	}
+	sort.Strings(pkgs)
+	var totalSrc, totalTest int
+	if *markdown {
+		fmt.Println("| package | source LoC | test LoC |")
+		fmt.Println("|---|---|---|")
+	} else {
+		fmt.Printf("%-36s %10s %10s\n", "package", "source", "tests")
+	}
+	for _, p := range pkgs {
+		c := perPkg[p]
+		totalSrc += c.src
+		totalTest += c.test
+		if *markdown {
+			fmt.Printf("| %s | %d | %d |\n", p, c.src, c.test)
+		} else {
+			fmt.Printf("%-36s %10d %10d\n", p, c.src, c.test)
+		}
+	}
+	if *markdown {
+		fmt.Printf("| **total** | **%d** | **%d** |\n", totalSrc, totalTest)
+	} else {
+		fmt.Printf("%-36s %10d %10d\n", "total", totalSrc, totalTest)
+	}
+}
+
+// countLines counts non-blank lines (the paper's LoC convention).
+func countLines(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	n := 0
+	for sc.Scan() {
+		if strings.TrimSpace(sc.Text()) != "" {
+			n++
+		}
+	}
+	return n, sc.Err()
+}

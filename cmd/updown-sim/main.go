@@ -1,0 +1,171 @@
+// Command updown-sim runs one application once on a simulated UpDown
+// machine and reports timing and machine statistics — the equivalent of
+// the artifact's per-application executables (pagerankMSRdramalloc,
+// bfs_udweave, three_clique_count_mm_global, ...).
+//
+//	updown-sim -app pr  -graph rmat -scale 14 -nodes 16
+//	updown-sim -app bfs -graph soc-livej -scale 14 -nodes 4 -root 28
+//	updown-sim -app tc  -graph com-orkut -scale 11 -nodes 8
+//	updown-sim -app ingest -records 10000 -nodes 4
+//	updown-sim -app match  -records 2000 -nodes 2
+//
+// Alternatively, -gv/-nl load a preprocessed binary graph produced by
+// cmd/preprocess.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"updown"
+	"updown/internal/apps/bfs"
+	"updown/internal/apps/ingest"
+	"updown/internal/apps/match"
+	"updown/internal/apps/pagerank"
+	"updown/internal/apps/tc"
+	"updown/internal/arch"
+	"updown/internal/graph"
+	"updown/internal/tform"
+)
+
+func main() {
+	app := flag.String("app", "pr", "application: pr | bfs | tc | ingest | match")
+	preset := flag.String("graph", "rmat", "workload preset (see graph.Presets)")
+	scale := flag.Int("scale", 14, "log2 vertex count")
+	gvPath := flag.String("gv", "", "preprocessed vertex array (with -nl, overrides -graph)")
+	nlPath := flag.String("nl", "", "preprocessed neighbor list")
+	nodes := flag.Int("nodes", 4, "UpDown node count")
+	accels := flag.Int("accel", 32, "accelerators per node")
+	memNodes := flag.Int("mem", 0, "memory nodes for DRAMmalloc (0 = all; the artifact's <mem> argument)")
+	maxDeg := flag.Int("m", 64, "vertex-splitting max degree (0 = none)")
+	root := flag.Uint("root", 28, "BFS root vertex")
+	iters := flag.Int("iters", 1, "PageRank iterations")
+	records := flag.Int("records", 5000, "record count for ingest/match")
+	seed := flag.Uint64("seed", 42, "generator seed")
+	shards := flag.Int("shards", 0, "simulator host parallelism (0 = auto)")
+	flag.Parse()
+
+	ar := updownArch(*nodes, *accels)
+	m, err := updown.New(updown.Config{Arch: &ar, Shards: *shards, MaxTime: 1 << 46})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	switch *app {
+	case "pr", "bfs", "tc":
+		g := loadGraph(*gvPath, *nlPath, *preset, *scale, *seed, *app == "tc")
+		mem := *memNodes
+		if mem == 0 {
+			mem = *nodes
+		}
+		pl := graph.Placement{FirstNode: 0, NRNodes: mem, BlockBytes: 32 << 10}
+		switch *app {
+		case "pr":
+			split := graph.SplitWith(g, graph.SplitOptions{
+				MaxDeg: *maxDeg, Seed: graph.DefaultShuffleSeed, SpreadInEdges: true})
+			dg := mustLoad(m, split, pl)
+			a, err := pagerank.New(m, dg, pagerank.Config{Iterations: *iters})
+			must(err)
+			a.InitValues()
+			stats, err := a.Run()
+			must(err)
+			report(m, stats, a.Elapsed())
+			fmt.Printf("updates: %d (%.4f GUPS)\n", g.NumEdges()*uint64(*iters),
+				float64(g.NumEdges()*uint64(*iters))/m.Seconds(a.Elapsed())/1e9)
+		case "bfs":
+			dg := mustLoad(m, graph.Split(g, 256), pl)
+			a, err := bfs.New(m, dg, bfs.Config{Root: uint32(*root)})
+			must(err)
+			a.InitValues()
+			stats, err := a.Run()
+			must(err)
+			report(m, stats, a.Elapsed())
+			fmt.Printf("rounds: %d, traversed edges: %d (%.4f GTEPS)\n",
+				a.Rounds, a.Traversed, float64(a.Traversed)/m.Seconds(a.Elapsed())/1e9)
+		case "tc":
+			dg := mustLoad(m, graph.Split(g, 0), pl)
+			a, err := tc.New(m, dg, tc.Config{})
+			must(err)
+			stats, err := a.Run()
+			must(err)
+			report(m, stats, a.Elapsed())
+			fmt.Printf("intersection total: %d (%d triangles)\n", a.Total(), a.Triangles())
+		}
+	case "ingest":
+		data, _ := tform.GenCSV(*records, 1<<24, 8, *seed)
+		a, err := ingest.New(m, data, ingest.Config{})
+		must(err)
+		stats, err := a.Run()
+		must(err)
+		report(m, stats, a.Elapsed())
+		fmt.Printf("records: %d, phase1 %d cycles, phase2 %d cycles (%.2f MRec/s)\n",
+			a.Records, a.Phase1(), a.Phase2(),
+			float64(a.Records)/m.Seconds(a.Elapsed())/1e6)
+	case "match":
+		_, recs := tform.GenCSV(*records, 4096, 4, *seed)
+		patterns := []match.Pattern{{Types: []uint64{0, 1}}, {Types: []uint64{2, 2}}}
+		a, err := match.New(m, recs, patterns, match.Config{Interarrival: 40})
+		must(err)
+		stats, err := a.Run()
+		must(err)
+		report(m, stats, 0)
+		fmt.Printf("processed: %d, matches: %d, avg latency %.0f cycles (%.2f us)\n",
+			a.Processed(), a.Matches(), a.AvgLatency(), a.AvgLatency()/2e3)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown app %q\n", *app)
+		os.Exit(2)
+	}
+}
+
+func updownArch(nodes, accels int) arch.Machine {
+	a := arch.DefaultMachine(nodes)
+	a.AccelsPerNode = accels
+	return a
+}
+
+func loadGraph(gvPath, nlPath, preset string, scale int, seed uint64, undirected bool) *graph.Graph {
+	if gvPath != "" && nlPath != "" {
+		gv, err := os.Open(gvPath)
+		must(err)
+		defer gv.Close()
+		nl, err := os.Open(nlPath)
+		must(err)
+		defer nl.Close()
+		g, err := graph.ReadGVNL(gv, nl)
+		must(err)
+		return g
+	}
+	p, err := graph.PresetByName(preset)
+	must(err)
+	return graph.FromEdges(1<<scale, p.Build(scale, seed), graph.BuildOptions{
+		Undirected:    p.Undirected || undirected,
+		Dedup:         true,
+		DropSelfLoops: true,
+		SortNeighbors: true,
+	})
+}
+
+func mustLoad(m *updown.Machine, s *graph.SplitGraph, pl graph.Placement) *graph.DeviceGraph {
+	dg, err := graph.LoadToGAS(m.GAS, s, pl)
+	must(err)
+	return dg
+}
+
+func report(m *updown.Machine, stats updown.Stats, elapsed updown.Cycles) {
+	if elapsed == 0 {
+		elapsed = stats.FinalTime
+	}
+	fmt.Printf("simulated: %d cycles = %.6f s at 2 GHz\n", elapsed, m.Seconds(elapsed))
+	fmt.Printf("events: %d, sends: %d, DRAM: %d reads / %d writes / %d bytes\n",
+		stats.Events, stats.Sends, stats.DRAMReads, stats.DRAMWrites, stats.DRAMBytes)
+	fmt.Printf("lanes touched: %d, utilization %.1f%%\n",
+		stats.LanesTouched, 100*stats.Utilization())
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module updown
+
+go 1.22

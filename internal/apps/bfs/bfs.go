@@ -1,0 +1,470 @@
+// Package bfs implements the paper's push-based breadth-first search
+// (Section 4.2): each round is a KVMSR invocation whose kv_map tasks are
+// bound one-per-accelerator (over the per-accelerator sections of the
+// current frontier); each map task then acts as a local master, organizing
+// its accelerator's 64 lanes as workers over its frontier section — the
+// paper's departure from flat data parallelism. Discovered neighbors are
+// emitted to Hash-bound kv_reduce tasks, which mark the vertex visited,
+// record distance and parent, and append the vertex (plus its split
+// sub-vertices) to their own accelerator's next-frontier segment.
+//
+// Rounds repeat until a round emits nothing. The frontier uses the
+// contiguous-per-node DRAMmalloc layout the paper highlights for data
+// locality.
+package bfs
+
+import (
+	"fmt"
+
+	"updown"
+	"updown/internal/collections"
+	"updown/internal/gasmem"
+	"updown/internal/graph"
+	"updown/internal/kvmsr"
+	"updown/internal/udweave"
+)
+
+// Unvisited is the distance value of unreached vertices.
+const Unvisited = ^uint64(0)
+
+// subWindow bounds in-flight per-vertex tasks per worker lane.
+const subWindow = 16
+
+// Config selects run parameters.
+type Config struct {
+	// Lanes must be accelerator-aligned (default: whole machine).
+	Lanes kvmsr.LaneSet
+	// Root is the search root (original vertex ID; the paper uses 0 for
+	// ER graphs and 28 for RMAT).
+	Root uint32
+	// SegCap overrides the per-accelerator frontier capacity.
+	SegCap int
+}
+
+// App is a BFS program instance.
+type App struct {
+	m   *updown.Machine
+	dg  *graph.DeviceGraph
+	cfg Config
+
+	f   *collections.Frontier
+	inv *kvmsr.Invocation
+
+	lSubDone   udweave.Label
+	lSubTask   udweave.Label
+	lFrontChnk udweave.Label
+	lVertTask  udweave.Label
+	lVRec      udweave.Label
+	lVChunk    udweave.Label
+	lVertDone  udweave.Label
+	lRedRec    udweave.Label
+	lAppendAck udweave.Label
+	lSeedVisit udweave.Label
+	lSeedCount udweave.Label
+	lDriver    udweave.Label
+
+	visitedSlot int
+
+	Start  updown.Cycles
+	Done   updown.Cycles
+	Rounds int
+	// Traversed counts edges explored across all rounds (the GTEPS
+	// numerator).
+	Traversed uint64
+}
+
+type driverState struct {
+	phase string
+	round uint64
+}
+
+// mapState is the accelerator-master kv_map task.
+type mapState struct {
+	mapCont uint64
+	expect  int
+	emits   uint64
+}
+
+// subState is one worker lane's share of a frontier section.
+type subState struct {
+	cont         uint64
+	segVA        gasmem.VA
+	next, hi     uint64
+	round        uint64
+	outstanding  int
+	chunkPending bool
+	emitted      uint64
+}
+
+// vertState streams one frontier vertex's neighbors.
+type vertState struct {
+	cont    uint64
+	round   uint64
+	v       uint32
+	degree  uint64
+	neighVA gasmem.VA
+	loaded  uint64
+	sent    uint64
+}
+
+// New builds the program against a loaded device graph.
+func New(m *updown.Machine, dg *graph.DeviceGraph, cfg Config) (*App, error) {
+	if cfg.Lanes.Count == 0 {
+		cfg.Lanes = kvmsr.AllLanes(m.Arch)
+	}
+	if int(cfg.Root) >= dg.G.OrigN {
+		return nil, fmt.Errorf("bfs: root %d outside graph of %d vertices", cfg.Root, dg.G.OrigN)
+	}
+	a := &App{m: m, dg: dg, cfg: cfg, visitedSlot: m.Prog.AllocSlot()}
+	p := m.Prog
+
+	accels := cfg.Lanes.Count / m.Arch.LanesPerAccel
+	segCap := cfg.SegCap
+	if segCap <= 0 {
+		segCap = 4*(dg.G.N/maxInt(accels, 1)) + 256
+	}
+	var err error
+	a.f, err = collections.NewFrontier(p, "bfs.front", cfg.Lanes, segCap)
+	if err != nil {
+		return nil, err
+	}
+	if err := a.f.Alloc(m.GAS); err != nil {
+		return nil, err
+	}
+
+	kvMap := p.Define("bfs.kv_map", a.kvMap)
+	a.lSubDone = p.Define("bfs.sub_done", a.subDone)
+	a.lSubTask = p.Define("bfs.sub_task", a.subTask)
+	a.lFrontChnk = p.Define("bfs.front_chunk", a.frontChunk)
+	a.lVertTask = p.Define("bfs.vert_task", a.vertTask)
+	a.lVRec = p.Define("bfs.v_rec", a.vRec)
+	a.lVChunk = p.Define("bfs.v_chunk", a.vChunk)
+	a.lVertDone = p.Define("bfs.vert_done", a.vertDone)
+	kvReduce := p.Define("bfs.kv_reduce", a.kvReduce)
+	a.lRedRec = p.Define("bfs.red_rec", a.redRec)
+	a.lAppendAck = p.Define("bfs.append_ack", a.appendAck)
+	a.lSeedVisit = p.Define("bfs.seed_visit", a.seedVisit)
+	a.lSeedCount = p.Define("bfs.seed_count", a.seedCount)
+	a.lDriver = p.Define("bfs.driver", a.driver)
+
+	a.inv, err = kvmsr.New(p, kvmsr.Spec{
+		Name:        "bfs.round",
+		NumKeys:     uint64(accels),
+		MapEvent:    kvMap,
+		ReduceEvent: kvReduce,
+		MapBinding:  kvmsr.Stride{Step: m.Arch.LanesPerAccel},
+		Lanes:       cfg.Lanes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// InitValues prepares distances and seeds the root's frontier segment
+// (host-side setup).
+func (a *App) InitValues() {
+	for v := uint32(0); int(v) < a.dg.G.N; v++ {
+		a.m.GAS.WriteU64(a.dg.FieldVA(v, graph.VValue), Unvisited)
+		a.m.GAS.WriteU64(a.dg.FieldVA(v, graph.VAux), Unvisited)
+	}
+	rootBase := a.dg.G.NewID[a.cfg.Root]
+	a.m.GAS.WriteU64(a.dg.FieldVA(rootBase, graph.VValue), 0)
+	members := a.dg.G.Members(a.cfg.Root)
+	seed := make([]uint64, len(members))
+	for i, v := range members {
+		seed[i] = uint64(v)
+	}
+	a.f.HostSeed(a.m.GAS, 0, 0, seed)
+}
+
+// Run simulates to completion.
+func (a *App) Run() (updown.Stats, error) {
+	a.m.Start(updown.EvwNew(a.cfg.Lanes.First, a.lDriver))
+	return a.m.Run()
+}
+
+// Elapsed returns the simulated cycles of the measured region.
+func (a *App) Elapsed() updown.Cycles { return a.Done - a.Start }
+
+// Distances reads back the hop distances indexed by original input
+// vertex ID (post-run).
+func (a *App) Distances() []uint64 {
+	out := make([]uint64, a.dg.G.OrigN)
+	for v := range out {
+		out[v] = a.m.GAS.ReadU64(a.dg.FieldVA(a.dg.G.NewID[v], graph.VValue))
+	}
+	return out
+}
+
+// Parents reads back the BFS tree, indexed by original input vertex ID;
+// values are split-vertex IDs (Unvisited for unreached and for the root).
+func (a *App) Parents() []uint64 {
+	out := make([]uint64, a.dg.G.OrigN)
+	for v := range out {
+		out[v] = a.m.GAS.ReadU64(a.dg.FieldVA(a.dg.G.NewID[v], graph.VAux))
+	}
+	return out
+}
+
+// driver seeds the search, then chains rounds until one adds nothing.
+func (a *App) driver(c *updown.Ctx) {
+	if c.State() == nil {
+		a.Start = c.Now()
+		c.SetState(&driverState{phase: "seedv"})
+		// Mark the root visited on its reduce owner lane. Keys in the
+		// shuffle are base-member IDs.
+		rootBase := uint64(a.dg.G.NewID[a.cfg.Root])
+		owner := kvmsr.Hash{}.Lane(rootBase, a.cfg.Lanes)
+		c.SendEvent(udweave.EvwNew(owner, a.lSeedVisit), c.ContinueTo(a.lDriver), rootBase)
+		return
+	}
+	st := c.State().(*driverState)
+	switch st.phase {
+	case "seedv":
+		st.phase = "seedc"
+		members := uint64(len(a.dg.G.Members(a.cfg.Root)))
+		c.SendEvent(udweave.EvwNew(a.cfg.Lanes.First, a.lSeedCount), c.ContinueTo(a.lDriver), members)
+	case "seedc":
+		st.phase = "round"
+		a.inv.LaunchWithArg(c, uint64(a.f.Accels()), st.round, c.ContinueTo(a.lDriver))
+	case "round":
+		a.Rounds++
+		a.Traversed += c.Op(0)
+		if c.Op(0) == 0 {
+			// No edges explored this round: the search is complete.
+			a.Done = c.Now()
+			c.YieldTerminate()
+			return
+		}
+		st.round++
+		a.inv.LaunchWithArg(c, uint64(a.f.Accels()), st.round, c.ContinueTo(a.lDriver))
+	}
+}
+
+func (a *App) visited(c *updown.Ctx) map[uint32]bool {
+	return c.LocalSlot(a.visitedSlot, func() any { return make(map[uint32]bool) }).(map[uint32]bool)
+}
+
+func (a *App) seedVisit(c *updown.Ctx) {
+	a.visited(c)[uint32(c.Op(0))] = true
+	c.ScratchAccess(1)
+	c.Reply(c.Cont())
+	c.YieldTerminate()
+}
+
+func (a *App) seedCount(c *updown.Ctx) {
+	a.f.SeedCount(c, 0, int(c.Op(0)))
+	c.Reply(c.Cont())
+	c.YieldTerminate()
+}
+
+// kvMap is the per-accelerator map task: consume this accelerator's
+// frontier section by fanning subtasks out to the accelerator's lanes.
+func (a *App) kvMap(c *updown.Ctx) {
+	round := c.Op(1)
+	parity := int(round & 1)
+	cnt := uint64(a.f.Count(c, parity))
+	a.f.Reset(c, parity)
+	if cnt == 0 {
+		a.inv.Return(c, c.Cont())
+		c.YieldTerminate()
+		return
+	}
+	st := &mapState{mapCont: c.Cont()}
+	c.SetState(st)
+	lpa := uint64(a.m.Arch.LanesPerAccel)
+	chunk := (cnt + lpa - 1) / lpa
+	self := c.NetworkID()
+	cont := c.ContinueTo(a.lSubDone)
+	c.Cycles(10)
+	for i := uint64(0); i*chunk < cnt; i++ {
+		lo := i * chunk
+		hi := lo + chunk
+		if hi > cnt {
+			hi = cnt
+		}
+		c.Cycles(2)
+		c.SendEvent(udweave.EvwNew(self+updown.NetworkID(i), a.lSubTask), cont, lo, hi, round)
+		st.expect++
+	}
+}
+
+// subDone aggregates worker completions at the map task.
+func (a *App) subDone(c *updown.Ctx) {
+	st := c.State().(*mapState)
+	st.emits += c.Op(0)
+	st.expect--
+	c.Cycles(3)
+	if st.expect == 0 {
+		a.inv.EmitFrom(c, st.emits)
+		a.inv.Return(c, st.mapCont)
+		c.YieldTerminate()
+	}
+}
+
+// subTask processes one worker lane's slice of the frontier section.
+func (a *App) subTask(c *updown.Ctx) {
+	accel := a.f.AccelOfLane(int(c.NetworkID()))
+	round := c.Op(2)
+	st := &subState{
+		cont:  c.Cont(),
+		segVA: a.f.SegmentVA(accel, int(round&1)),
+		next:  c.Op(0),
+		hi:    c.Op(1),
+		round: round,
+	}
+	c.SetState(st)
+	c.Cycles(6)
+	a.subPump(c, st)
+}
+
+// subPump reads the next frontier chunk when the task window has room.
+func (a *App) subPump(c *updown.Ctx, st *subState) {
+	if !st.chunkPending && st.next < st.hi && st.outstanding < subWindow {
+		n := st.hi - st.next
+		if n > 8 {
+			n = 8
+		}
+		st.chunkPending = true
+		c.Cycles(2)
+		c.DRAMRead(st.segVA+st.next*gasmem.WordBytes, int(n), c.ContinueTo(a.lFrontChnk))
+	}
+	if st.outstanding == 0 && !st.chunkPending && st.next >= st.hi {
+		c.Cycles(2)
+		c.Reply(st.cont, st.emitted)
+		c.YieldTerminate()
+	}
+}
+
+// frontChunk spawns one vertex task per frontier entry.
+func (a *App) frontChunk(c *updown.Ctx) {
+	st := c.State().(*subState)
+	st.chunkPending = false
+	n := c.NOps()
+	self := c.NetworkID()
+	cont := c.ContinueTo(a.lVertDone)
+	for i := 0; i < n; i++ {
+		c.Cycles(2)
+		c.SendEvent(udweave.EvwNew(self, a.lVertTask), cont, c.Op(i), st.round)
+		st.outstanding++
+	}
+	st.next += uint64(n)
+	a.subPump(c, st)
+}
+
+// vertDone retires one vertex task.
+func (a *App) vertDone(c *updown.Ctx) {
+	st := c.State().(*subState)
+	st.emitted += c.Op(0)
+	st.outstanding--
+	c.Cycles(2)
+	a.subPump(c, st)
+}
+
+// vertTask explores one (split) frontier vertex.
+func (a *App) vertTask(c *updown.Ctx) {
+	v := uint32(c.Op(0))
+	st := &vertState{cont: c.Cont(), round: c.Op(1), v: v}
+	c.SetState(st)
+	c.Cycles(4)
+	c.DRAMRead(a.dg.FieldVA(v, graph.VDegree), 2, c.ContinueTo(a.lVRec))
+}
+
+func (a *App) vRec(c *updown.Ctx) {
+	st := c.State().(*vertState)
+	st.degree = c.Op(0)
+	st.neighVA = c.Op(1)
+	if st.degree == 0 {
+		c.Reply(st.cont, 0)
+		c.YieldTerminate()
+		return
+	}
+	c.Cycles(4)
+	ret := c.ContinueTo(a.lVChunk)
+	for off := uint64(0); off < st.degree; off += 8 {
+		n := st.degree - off
+		if n > 8 {
+			n = 8
+		}
+		c.Cycles(2)
+		c.DRAMRead(st.neighVA+off*gasmem.WordBytes, int(n), ret)
+	}
+}
+
+// vChunk pushes one chunk of neighbors into the shuffle. The emitted
+// tuples carry (neighbor, distance): sends are unaccounted SendReduce
+// calls whose counts flow back to the map task for EmitFrom crediting.
+func (a *App) vChunk(c *updown.Ctx) {
+	st := c.State().(*vertState)
+	n := c.NOps()
+	for i := 0; i < n; i++ {
+		a.inv.SendReduce(c, c.Op(i), st.round+1, uint64(st.v))
+	}
+	st.sent += uint64(n)
+	st.loaded += uint64(n)
+	if st.loaded == st.degree {
+		c.Reply(st.cont, st.sent)
+		c.YieldTerminate()
+	}
+}
+
+// kvReduce marks one discovered vertex: the Hash binding makes this lane
+// the exclusive owner of the vertex, so the scratchpad visited check is
+// race-free (events are atomic).
+func (a *App) kvReduce(c *updown.Ctx) {
+	v := uint32(c.Op(0))
+	dist := c.Op(1)
+	src := c.Op(2)
+	vis := a.visited(c)
+	c.ScratchAccess(1)
+	c.Cycles(4)
+	if vis[v] {
+		a.inv.ReduceDone(c)
+		c.YieldTerminate()
+		return
+	}
+	vis[v] = true
+	// Record distance and BFS-tree parent (adjacent words); the record's
+	// sub-vertex range decides what to append to the next frontier.
+	c.DRAMWrite(a.dg.FieldVA(v, graph.VValue), udweave.IGNRCONT, dist, src)
+	c.SetState(&redWork{v: v, dist: dist})
+	c.DRAMRead(a.dg.FieldVA(v, graph.VSubStart), 2, c.ContinueTo(a.lRedRec))
+}
+
+type redWork struct {
+	v           uint32
+	dist        uint64
+	pendingAcks int
+}
+
+func (a *App) redRec(c *updown.Ctx) {
+	st := c.State().(*redWork)
+	subStart := uint32(c.Op(0))
+	subCount := uint32(c.Op(1))
+	parity := int(st.dist & 1)
+	ack := c.ContinueTo(a.lAppendAck)
+	st.pendingAcks = int(1 + subCount)
+	c.Cycles(4)
+	a.f.Append(c, parity, uint64(st.v), ack)
+	for i := uint32(0); i < subCount; i++ {
+		a.f.Append(c, parity, uint64(subStart+i), ack)
+	}
+}
+
+func (a *App) appendAck(c *updown.Ctx) {
+	st := c.State().(*redWork)
+	st.pendingAcks--
+	c.Cycles(2)
+	if st.pendingAcks == 0 {
+		a.inv.ReduceDone(c)
+		c.YieldTerminate()
+	}
+}

@@ -1,0 +1,144 @@
+package ingest_test
+
+import (
+	"testing"
+
+	"updown"
+	"updown/internal/apps/ingest"
+	"updown/internal/collections"
+	"updown/internal/kvmsr"
+	"updown/internal/tform"
+)
+
+func runIngest(t *testing.T, data []byte, nodes, blockBytes int) (*ingest.App, *updown.Machine) {
+	t.Helper()
+	m, err := updown.New(updown.Config{Nodes: nodes, Shards: 1, MaxTime: 1 << 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := ingest.New(m, data, ingest.Config{BlockBytes: blockBytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := app.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return app, m
+}
+
+// verify compares the simulated graph contents against the expected
+// records.
+func verify(t *testing.T, app *ingest.App, m *updown.Machine, want []tform.Record) {
+	t.Helper()
+	if app.Records != uint64(len(want)) {
+		t.Fatalf("parsed %d records, want %d", app.Records, len(want))
+	}
+	wantVerts := map[uint64]uint64{}
+	wantEdges := map[uint64][]uint64{}
+	for _, r := range want {
+		wantVerts[r[tform.FSrc]]++
+		wantVerts[r[tform.FDst]]++
+		k := collections.EdgeKey(r[tform.FSrc], r[tform.FDst])
+		wantEdges[k] = append(wantEdges[k], r[tform.FType])
+	}
+	verts := app.PG.Vertices.HostDump(m.Engine, m.GAS)
+	if len(verts) != len(wantVerts) {
+		t.Fatalf("vertex table has %d entries, want %d", len(verts), len(wantVerts))
+	}
+	for id, cnt := range wantVerts {
+		if verts[id] != cnt {
+			t.Fatalf("vertex %d touch count %d, want %d", id, verts[id], cnt)
+		}
+	}
+	edges := app.PG.Edges.HostDump(m.Engine, m.GAS)
+	if len(edges) != len(wantEdges) {
+		t.Fatalf("edge table has %d entries, want %d", len(edges), len(wantEdges))
+	}
+	for k, types := range wantEdges {
+		v, ok := edges[k]
+		if !ok {
+			t.Fatalf("edge %x missing", k)
+		}
+		found := false
+		for _, ty := range types {
+			if v == ty {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("edge %x type %d not among expected %v", k, v, types)
+		}
+	}
+}
+
+func TestIngestionEndToEnd(t *testing.T) {
+	data, want := tform.GenCSV(2000, 1<<20, 6, 41)
+	app, m := runIngest(t, data, 2, 1024)
+	verify(t, app, m, want)
+	if app.Phase1() <= 0 || app.Phase2() <= 0 {
+		t.Fatalf("phases: %d, %d", app.Phase1(), app.Phase2())
+	}
+}
+
+// Records must survive arbitrary block sizes, including ones that split
+// every record across blocks.
+func TestIngestionBlockSizes(t *testing.T) {
+	data, want := tform.GenCSV(300, 1000, 3, 8)
+	for _, bs := range []int{64, 256, 4096, len(data) + 100} {
+		app, m := runIngest(t, data, 1, bs)
+		verify(t, app, m, want)
+	}
+}
+
+func TestIngestionSingleRecord(t *testing.T) {
+	data, want := tform.GenCSV(1, 100, 2, 5)
+	app, m := runIngest(t, data, 1, 4096)
+	verify(t, app, m, want)
+}
+
+func TestIngestionNoTrailingNewline(t *testing.T) {
+	data, want := tform.GenCSV(50, 1000, 3, 6)
+	data = data[:len(data)-1] // strip final newline
+	app, m := runIngest(t, data, 1, 128)
+	verify(t, app, m, want)
+}
+
+func TestIngestionEmptyInputRejected(t *testing.T) {
+	m, err := updown.New(updown.Config{Nodes: 1, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ingest.New(m, nil, ingest.Config{}); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+// Throughput must improve with more lanes (Figure 10's scaling mechanism).
+func TestIngestionLaneScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling check skipped in -short")
+	}
+	data, _ := tform.GenCSV(3000, 1<<20, 4, 12)
+	elapsed := func(lanes int) updown.Cycles {
+		m, err := updown.New(updown.Config{Nodes: 1, Shards: 1, MaxTime: 1 << 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		app, err := ingest.New(m, data, ingest.Config{
+			BlockBytes: 512,
+			Lanes:      kvmsr.LaneSet{First: 0, Count: lanes},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := app.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return app.Elapsed()
+	}
+	t64 := elapsed(64)
+	t2048 := elapsed(2048)
+	if t2048 >= t64 {
+		t.Fatalf("2048 lanes (%d) not faster than 64 (%d)", t2048, t64)
+	}
+}

@@ -1,0 +1,143 @@
+package match_test
+
+import (
+	"testing"
+
+	"updown"
+	"updown/internal/apps/match"
+	"updown/internal/kvmsr"
+	"updown/internal/tform"
+)
+
+func rec(src, dst, typ uint64) tform.Record {
+	var r tform.Record
+	r[tform.FSrc] = src
+	r[tform.FDst] = dst
+	r[tform.FType] = typ
+	return r
+}
+
+func runMatch(t *testing.T, records []tform.Record, patterns []match.Pattern, inter updown.Cycles, lanes int) *match.App {
+	t.Helper()
+	m, err := updown.New(updown.Config{Nodes: 1, Shards: 1, MaxTime: 1 << 44})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := match.Config{Interarrival: inter}
+	if lanes > 0 {
+		cfg.Lanes = kvmsr.LaneSet{First: 0, Count: lanes}
+	}
+	app, err := match.New(m, records, patterns, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := app.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return app
+}
+
+func TestSingleEdgePattern(t *testing.T) {
+	records := []tform.Record{rec(1, 2, 7), rec(2, 3, 5), rec(3, 4, 7)}
+	app := runMatch(t, records, []match.Pattern{{Types: []uint64{7}}}, 20000, 64)
+	if app.Matches() != 2 {
+		t.Fatalf("matches = %d, want 2", app.Matches())
+	}
+	if app.Processed() != 3 {
+		t.Fatalf("processed = %d, want 3", app.Processed())
+	}
+}
+
+func TestTwoStagePath(t *testing.T) {
+	// Pattern: type-1 edge then type-2 edge sharing the middle vertex.
+	records := []tform.Record{
+		rec(10, 20, 1), // prefix at 20
+		rec(20, 30, 2), // completes the pattern
+		rec(30, 40, 2), // no prefix of stage 1 at 30 with type 2 -> no match
+		rec(40, 50, 1), // prefix at 50
+		rec(50, 60, 3), // wrong type -> no match
+	}
+	app := runMatch(t, records, []match.Pattern{{Types: []uint64{1, 2}}}, 20000, 64)
+	if app.Matches() != 1 {
+		t.Fatalf("matches = %d, want 1", app.Matches())
+	}
+}
+
+func TestThreeStagePathAndMultiplePatterns(t *testing.T) {
+	patterns := []match.Pattern{
+		{Types: []uint64{1, 2, 3}},
+		{Types: []uint64{2, 2}},
+	}
+	records := []tform.Record{
+		rec(1, 2, 1),
+		rec(2, 3, 2), // advances pattern 0 to stage 2; starts pattern 1 at 3
+		rec(3, 4, 3), // completes pattern 0
+		rec(3, 5, 2), // completes pattern 1 (2,2 via vertex 3)
+	}
+	app := runMatch(t, records, patterns, 20000, 64)
+	want := match.Oracle(records, patterns)
+	if app.Matches() != want {
+		t.Fatalf("matches = %d, oracle %d", app.Matches(), want)
+	}
+	if want != 2 {
+		t.Fatalf("oracle self-check: %d, want 2", want)
+	}
+}
+
+// A random stream evaluated slower than the pipeline must agree exactly
+// with the sequential oracle.
+func TestRandomStreamMatchesOracle(t *testing.T) {
+	_, records := tform.GenCSV(300, 64, 3, 99) // tiny vertex space forces chains
+	patterns := []match.Pattern{
+		{Types: []uint64{0, 1}},
+		{Types: []uint64{1, 2, 0}},
+		{Types: []uint64{2}},
+	}
+	app := runMatch(t, records, patterns, 30000, 256)
+	want := match.Oracle(records, patterns)
+	if want == 0 {
+		t.Fatal("oracle found no matches; test is vacuous")
+	}
+	if app.Matches() != want {
+		t.Fatalf("matches = %d, oracle %d", app.Matches(), want)
+	}
+	if app.Processed() != 300 {
+		t.Fatalf("processed %d", app.Processed())
+	}
+	if app.AvgLatency() <= 0 {
+		t.Fatal("no latency recorded")
+	}
+}
+
+// More lanes must reduce decision latency when the stream is fast enough
+// to queue records (Figure 11's mechanism).
+func TestLatencyImprovesWithLanes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling check skipped in -short")
+	}
+	_, records := tform.GenCSV(400, 1024, 3, 7)
+	patterns := []match.Pattern{{Types: []uint64{0, 1}}}
+	lat := func(lanes int) float64 {
+		app := runMatch(t, records, patterns, 20, lanes)
+		if app.Processed() != 400 {
+			t.Fatalf("lanes=%d processed %d", lanes, app.Processed())
+		}
+		return app.AvgLatency()
+	}
+	l8 := lat(8)
+	l512 := lat(512)
+	if l512 >= l8 {
+		t.Fatalf("512 lanes latency %.0f not below 8 lanes %.0f", l512, l8)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	m, _ := updown.New(updown.Config{Nodes: 1, Shards: 1})
+	if _, err := match.New(m, nil, nil, match.Config{}); err == nil {
+		t.Error("no patterns accepted")
+	}
+	long := match.Pattern{Types: make([]uint64, 20)}
+	if _, err := match.New(m, nil, []match.Pattern{long}, match.Config{}); err == nil {
+		t.Error("oversized pattern accepted")
+	}
+}

@@ -1,0 +1,421 @@
+// Package pagerank implements the paper's push-based PageRank (Section
+// 4.1, Listing 3) on the simulated UpDown machine: a KVMSR invocation maps
+// over all (split) vertices, each kv_map task streaming its neighbor list
+// from DRAM in chunks of eight and emitting a <targetVertex, increment>
+// tuple per edge; kv_reduce tasks accumulate the contributions with the
+// software fetch-and-add combining cache; a doAll flush and a doAll apply
+// phase complete each iteration.
+//
+// Parallelism is expressed per vertex (kv_map) and per edge (kv_reduce);
+// computation binding is the default Block for maps and Hash for reduces;
+// data placement is the DRAMmalloc striping chosen when loading the graph
+// — the three orthogonal dimensions of the paper's Figure 1.
+package pagerank
+
+import (
+	"math"
+
+	"updown"
+	"updown/internal/collections"
+	"updown/internal/gasmem"
+	"updown/internal/graph"
+	"updown/internal/kvmsr"
+	"updown/internal/udweave"
+)
+
+// Damping matches the baseline package.
+const Damping = 0.85
+
+// Config selects the run parameters.
+type Config struct {
+	// Lanes is the KVMSR lane set (default: the whole machine).
+	Lanes kvmsr.LaneSet
+	// Iterations of power iteration (default 1, the unit the paper's
+	// strong-scaling measurements time).
+	Iterations int
+	// MaxOutstanding caps in-flight map tasks per lane.
+	MaxOutstanding int
+	// UseMemFetchAdd switches the reduce accumulation from the software
+	// combining cache to a memory-side atomic (ablation of the paper's
+	// footnote 1).
+	UseMemFetchAdd bool
+}
+
+// App is a PageRank program instance bound to one machine and graph.
+type App struct {
+	m   *updown.Machine
+	dg  *graph.DeviceGraph
+	cfg Config
+
+	// auxVA is a contiguous per-split-vertex accumulator array: keeping
+	// the accumulators dense (rather than strided inside the vertex
+	// records) lets the apply phase stream a hub's member sums eight
+	// words per DRAM read.
+	auxVA gasmem.VA
+
+	cc       *collections.CombiningCache
+	mainInv  *kvmsr.Invocation
+	flushInv *kvmsr.Invocation
+	applyInv *kvmsr.Invocation
+
+	lRecord    udweave.Label
+	lParentVal udweave.Label
+	lNeighRead udweave.Label
+	lReduceAck udweave.Label
+	lFlushed   udweave.Label
+	lApplyRead udweave.Label
+	lAuxRead   udweave.Label
+	lApplyAck  udweave.Label
+	lDriver    udweave.Label
+
+	iterLeft int
+	// Start and Done are the simulated cycle bounds of the measured
+	// region (all iterations).
+	Start updown.Cycles
+	Done  updown.Cycles
+	// PhaseMarks records the completion cycle of every phase
+	// (map/reduce, flush, apply per iteration) for bottleneck analysis.
+	PhaseMarks []updown.Cycles
+}
+
+// workerState is the kv_map thread state (Listing 3's thread variables:
+// degree, prUpdate, loadedNeighbors, plus the saved map continuation).
+type workerState struct {
+	mapCont         uint64
+	v               uint32
+	degree          uint64
+	loadedNeighbors uint64
+	neighVA         gasmem.VA
+	totalDeg        uint64
+	contribBits     uint64
+}
+
+// applyState is the apply-phase thread state. With in-edge spreading, a
+// base member aggregates its sub-vertices' accumulators before computing
+// the next value.
+type applyState struct {
+	mapCont  uint64
+	v        uint32
+	subCount uint32
+	sum      float64
+	nextSub  uint32
+	reads    int
+	writes   int
+}
+
+// applyWindow bounds in-flight member-accumulator reads per apply task.
+const applyWindow = 64
+
+// New builds the program against an already-loaded device graph.
+func New(m *updown.Machine, dg *graph.DeviceGraph, cfg Config) (*App, error) {
+	if cfg.Lanes.Count == 0 {
+		cfg.Lanes = kvmsr.AllLanes(m.Arch)
+	}
+	if cfg.Iterations <= 0 {
+		cfg.Iterations = 1
+	}
+	a := &App{m: m, dg: dg, cfg: cfg}
+	p := m.Prog
+	a.cc = collections.NewCombiningCache(p, "pr.fna", collections.AddF64)
+	var err error
+	a.auxVA, err = m.GAS.DRAMmalloc(uint64(dg.G.N)*gasmem.WordBytes, 0, m.Arch.Nodes, 32<<10)
+	if err != nil {
+		return nil, err
+	}
+
+	kvMap := p.Define("pr.kv_map", a.kvMap)
+	a.lRecord = p.Define("pr.record", a.record)
+	a.lParentVal = p.Define("pr.parent_val", a.parentVal)
+	a.lNeighRead = p.Define("pr.return_read", a.returnRead)
+	kvReduce := p.Define("pr.kv_reduce", a.kvReduce)
+	a.lReduceAck = p.Define("pr.reduce_ack", a.reduceAck)
+	flushBody := p.Define("pr.flush", a.flushBody)
+	a.lFlushed = p.Define("pr.flushed", a.flushed)
+	applyBody := p.Define("pr.apply", a.applyBody)
+	a.lApplyRead = p.Define("pr.apply_read", a.applyRead)
+	a.lAuxRead = p.Define("pr.aux_read", a.auxRead)
+	a.lApplyAck = p.Define("pr.apply_ack", a.applyAck)
+	a.lDriver = p.Define("pr.driver", a.driver)
+
+	a.mainInv, err = kvmsr.New(p, kvmsr.Spec{
+		Name: "pr.main", NumKeys: uint64(dg.G.N),
+		MapEvent: kvMap, ReduceEvent: kvReduce,
+		Lanes: cfg.Lanes, MaxOutstanding: cfg.MaxOutstanding,
+	})
+	if err != nil {
+		return nil, err
+	}
+	a.flushInv, err = kvmsr.New(p, kvmsr.Spec{
+		Name: "pr.flushall", NumKeys: uint64(cfg.Lanes.Count),
+		MapEvent: flushBody, Lanes: cfg.Lanes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	a.applyInv, err = kvmsr.New(p, kvmsr.Spec{
+		Name: "pr.applyall", NumKeys: uint64(dg.G.N),
+		MapEvent: applyBody, Lanes: cfg.Lanes, MaxOutstanding: cfg.MaxOutstanding,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// InitValues writes the uniform starting vector (host-side setup).
+func (a *App) InitValues() {
+	init := udweave.FloatBits(1.0 / float64(a.dg.G.OrigN))
+	for v := uint32(0); int(v) < a.dg.G.N; v++ {
+		if a.dg.G.IsBase(v) {
+			a.m.GAS.WriteU64(a.dg.FieldVA(v, graph.VValue), init)
+		}
+		a.m.GAS.WriteU64(a.auxVA+uint64(v)*gasmem.WordBytes, 0)
+	}
+}
+
+// Run posts the driver and simulates to completion, returning statistics.
+func (a *App) Run() (updown.Stats, error) {
+	a.iterLeft = a.cfg.Iterations
+	a.m.Start(updown.EvwNew(a.cfg.Lanes.First, a.lDriver))
+	return a.m.Run()
+}
+
+// Elapsed returns the simulated cycles of the measured region.
+func (a *App) Elapsed() updown.Cycles { return a.Done - a.Start }
+
+// Values reads back the final PageRank vector indexed by original input
+// vertex ID (host side, post-run).
+func (a *App) Values() []float64 {
+	out := make([]float64, a.dg.G.OrigN)
+	for v := range out {
+		base := a.dg.G.NewID[v]
+		out[v] = udweave.BitsFloat(a.m.GAS.ReadU64(a.dg.FieldVA(base, graph.VValue)))
+	}
+	return out
+}
+
+// driver chains the phases of each iteration: map/reduce, flush, apply.
+func (a *App) driver(c *updown.Ctx) {
+	if c.State() == nil {
+		a.Start = c.Now()
+		c.SetState("map")
+		a.mainInv.Launch(c, uint64(a.dg.G.N), c.ContinueTo(a.lDriver))
+		return
+	}
+	a.PhaseMarks = append(a.PhaseMarks, c.Now())
+	switch c.State().(string) {
+	case "map":
+		if a.cfg.UseMemFetchAdd {
+			// Accumulation already landed in memory; skip flush.
+			c.SetState("flush")
+			a.flushed2apply(c)
+			return
+		}
+		c.SetState("flush")
+		a.flushInv.Launch(c, uint64(a.cfg.Lanes.Count), c.ContinueTo(a.lDriver))
+	case "flush":
+		a.flushed2apply(c)
+	case "apply":
+		a.iterLeft--
+		if a.iterLeft > 0 {
+			c.SetState("map")
+			a.mainInv.Launch(c, uint64(a.dg.G.N), c.ContinueTo(a.lDriver))
+			return
+		}
+		a.Done = c.Now()
+		c.YieldTerminate()
+	}
+}
+
+func (a *App) flushed2apply(c *updown.Ctx) {
+	c.SetState("apply")
+	a.applyInv.Launch(c, uint64(a.dg.G.N), c.ContinueTo(a.lDriver))
+}
+
+// kvMap: load this split vertex's record, then stream its neighbors.
+func (a *App) kvMap(c *updown.Ctx) {
+	v := uint32(c.Op(0))
+	c.SetState(&workerState{mapCont: c.Cont(), v: v})
+	c.Cycles(6)
+	c.DRAMRead(a.dg.RecordVA(v), 8, c.ContinueTo(a.lRecord))
+}
+
+// record receives the vertex record. Originals carry their own value;
+// sub-vertices fetch the parent's current value with one more read.
+func (a *App) record(c *updown.Ctx) {
+	st := c.State().(*workerState)
+	st.degree = c.Op(graph.VDegree)
+	st.neighVA = c.Op(graph.VNeighVA)
+	st.totalDeg = c.Op(graph.VTotalDeg)
+	parent := uint32(c.Op(graph.VParent))
+	c.Cycles(6)
+	if parent != st.v {
+		c.DRAMRead(a.dg.FieldVA(parent, graph.VValue), 1, c.ContinueTo(a.lParentVal))
+		return
+	}
+	a.beginStream(c, st, c.Op(graph.VValue))
+}
+
+// parentVal receives a sub-vertex's parent value.
+func (a *App) parentVal(c *updown.Ctx) {
+	a.beginStream(c, c.State().(*workerState), c.Op(0))
+}
+
+// beginStream computes the per-edge contribution and issues all neighbor
+// reads in chunks of eight (Listing 3's kv_map loop).
+func (a *App) beginStream(c *updown.Ctx, st *workerState, valueBits uint64) {
+	if st.degree == 0 {
+		a.mainInv.Return(c, st.mapCont)
+		c.YieldTerminate()
+		return
+	}
+	st.contribBits = udweave.FloatBits(udweave.BitsFloat(valueBits) / float64(st.totalDeg))
+	c.Cycles(8)
+	ret := c.ContinueTo(a.lNeighRead)
+	for off := uint64(0); off < st.degree; off += 8 {
+		n := st.degree - off
+		if n > 8 {
+			n = 8
+		}
+		c.Cycles(2)
+		c.DRAMRead(st.neighVA+off*gasmem.WordBytes, int(n), ret)
+	}
+}
+
+// returnRead receives one chunk of neighbor IDs and emits an intermediate
+// tuple per neighbor (Listing 3's returnRead event).
+func (a *App) returnRead(c *updown.Ctx) {
+	st := c.State().(*workerState)
+	n := c.NOps()
+	for i := 0; i < n; i++ {
+		a.mainInv.Emit(c, c.Op(i), st.contribBits)
+	}
+	st.loadedNeighbors += uint64(n)
+	if st.loadedNeighbors == st.degree {
+		a.mainInv.Return(c, st.mapCont)
+		c.YieldTerminate()
+	}
+}
+
+// kvReduce accumulates one contribution into the target vertex's
+// accumulator — through the scratchpad combining cache (default) or a
+// memory-side float fetch-add (ablation).
+func (a *App) kvReduce(c *updown.Ctx) {
+	target := uint32(c.Op(0))
+	va := a.auxVA + uint64(target)*gasmem.WordBytes
+	if a.cfg.UseMemFetchAdd {
+		c.Cycles(4)
+		c.DRAMFetchAddF(va, udweave.BitsFloat(c.Op(1)), c.ContinueTo(a.lReduceAck))
+		return
+	}
+	c.Cycles(4)
+	a.cc.Add(c, va, c.Op(1))
+	a.mainInv.ReduceDone(c)
+	c.YieldTerminate()
+}
+
+// reduceAck completes a memory-side-atomic reduce.
+func (a *App) reduceAck(c *updown.Ctx) {
+	a.mainInv.ReduceDone(c)
+	c.YieldTerminate()
+}
+
+// flushBody is the doAll body draining one lane's combining cache.
+func (a *App) flushBody(c *updown.Ctx) {
+	c.SetState(c.Cont())
+	a.cc.Flush(c, c.ContinueTo(a.lFlushed))
+}
+
+func (a *App) flushed(c *updown.Ctx) {
+	a.flushInv.Return(c, c.State().(uint64))
+	c.YieldTerminate()
+}
+
+// applyBody is the doAll body computing one base member's next value:
+// next = (1-d)/N + d * sum, then resetting the accumulator. It maps over
+// all split vertices (base members are scattered by the shuffle) and
+// skips sub-vertices after inspecting the record.
+func (a *App) applyBody(c *updown.Ctx) {
+	v := uint32(c.Op(0))
+	c.SetState(&applyState{mapCont: c.Cont(), v: v})
+	c.Cycles(4)
+	c.DRAMRead(a.dg.RecordVA(v), 8, c.ContinueTo(a.lApplyRead))
+}
+
+func (a *App) applyRead(c *updown.Ctx) {
+	st := c.State().(*applyState)
+	if uint32(c.Op(graph.VParent)) != st.v {
+		// Sub-vertex: state lives in the base member's record.
+		a.applyInv.Return(c, st.mapCont)
+		c.YieldTerminate()
+		return
+	}
+	st.subCount = uint32(c.Op(graph.VSubCount))
+	c.Cycles(6)
+	// Stream the member accumulators (contiguous, 8 words per read).
+	a.applyPump(c, st)
+}
+
+// applyPump keeps member-accumulator chunk reads in flight.
+func (a *App) applyPump(c *updown.Ctx, st *applyState) {
+	total := 1 + st.subCount // base + members
+	for st.reads < applyWindow && st.nextSub < total {
+		n := total - st.nextSub
+		if n > 8 {
+			n = 8
+		}
+		va := a.auxVA + uint64(st.v+st.nextSub)*gasmem.WordBytes
+		st.nextSub += n
+		st.reads++
+		c.Cycles(2)
+		c.DRAMRead(va, int(n), c.ContinueTo(a.lAuxRead))
+	}
+	if st.reads == 0 && st.nextSub >= total {
+		a.applyFinish(c, st)
+	}
+}
+
+// auxRead accumulates one chunk of member contribution sums.
+func (a *App) auxRead(c *updown.Ctx) {
+	st := c.State().(*applyState)
+	n := c.NOps()
+	for i := 0; i < n; i++ {
+		st.sum += udweave.BitsFloat(c.Op(i))
+	}
+	st.reads--
+	c.Cycles(2 * n)
+	a.applyPump(c, st)
+}
+
+// applyFinish writes the next value and clears every member's accumulator
+// for the next iteration, then returns the map task.
+func (a *App) applyFinish(c *updown.Ctx, st *applyState) {
+	next := (1-Damping)/float64(a.dg.G.OrigN) + Damping*st.sum
+	if math.IsNaN(next) {
+		panic("pagerank: NaN value")
+	}
+	c.Cycles(8)
+	ack := c.ContinueTo(a.lApplyAck)
+	st.writes = 1
+	c.DRAMWrite(a.dg.FieldVA(st.v, graph.VValue), ack, udweave.FloatBits(next))
+	total := 1 + st.subCount
+	var zeros [7]uint64
+	for off := uint32(0); off < total; off += 7 {
+		n := total - off
+		if n > 7 {
+			n = 7
+		}
+		st.writes++
+		c.DRAMWrite(a.auxVA+uint64(st.v+off)*gasmem.WordBytes, ack, zeros[:n]...)
+	}
+}
+
+func (a *App) applyAck(c *updown.Ctx) {
+	st := c.State().(*applyState)
+	st.writes--
+	c.Cycles(1)
+	if st.writes == 0 {
+		a.applyInv.Return(c, st.mapCont)
+		c.YieldTerminate()
+	}
+}

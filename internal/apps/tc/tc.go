@@ -1,0 +1,314 @@
+// Package tc implements the paper's triangle counting (Section 4.3):
+// kv_map tasks run on all vertices and enumerate the connected vertex
+// pairs <vx, vy> with x > y; kv_reduce tasks intersect the two neighbor
+// lists, caching the smaller one in scratchpad and streaming the larger
+// against it (the Section 4.3.3 reuse variant — with every chunk read in
+// flight at once, a pair costs two memory round trips regardless of
+// degree). Pair keys combine both vertex names, so the default Hash
+// reduce binding spreads the skewed intersection work evenly.
+//
+// The map binding is configurable between Block and PBMW — the paper's
+// two TC variants (Section 4.3.3) — which the benchmark harness ablates.
+package tc
+
+import (
+	"updown"
+	"updown/internal/collections"
+	"updown/internal/gasmem"
+	"updown/internal/graph"
+	"updown/internal/kvmsr"
+	"updown/internal/udweave"
+)
+
+// Config selects run parameters.
+type Config struct {
+	// Lanes is the KVMSR lane set (default: whole machine).
+	Lanes kvmsr.LaneSet
+	// UsePBMW selects the partial-block master-worker map binding
+	// instead of Block.
+	UsePBMW bool
+	// MaxOutstanding caps in-flight map tasks per lane.
+	MaxOutstanding int
+}
+
+// App is a TC program instance.
+type App struct {
+	m   *updown.Machine
+	dg  *graph.DeviceGraph
+	cfg Config
+
+	cc       *collections.CombiningCache
+	mainInv  *kvmsr.Invocation
+	flushInv *kvmsr.Invocation
+
+	// totalsVA is a per-lane partial-total array (exclusive combining
+	// cache targets; the host sums it after the run).
+	totalsVA gasmem.VA
+
+	lURecord udweave.Label
+	lUChunk  udweave.Label
+	lVRecord udweave.Label
+	lAChunk  udweave.Label
+	lBChunk  udweave.Label
+	lFlushed udweave.Label
+	lDriver  udweave.Label
+
+	Start updown.Cycles
+	Done  updown.Cycles
+}
+
+// mapState streams vertex u's list, emitting pairs.
+type mapState struct {
+	mapCont uint64
+	u       uint64
+	degree  uint64
+	neighVA gasmem.VA
+	loaded  uint64
+}
+
+// reduceState intersects the lists of u and v: the smaller list is loaded
+// into a scratchpad set with all chunk reads in flight at once, then the
+// larger list streams against it the same way (the paper's Section 4.3.3
+// scratchpad-reuse variant; chunk arrival order is immaterial, so no read
+// ever waits behind another and a hub pair costs two round trips, not one
+// per chunk).
+type reduceState struct {
+	aVA, bVA   gasmem.VA
+	aLen, bLen uint64
+	set        map[uint64]struct{}
+	pending    int
+	streaming  bool
+	count      uint64
+}
+
+func pairKey(u, v uint64) uint64 { return u<<32 | v }
+
+// New builds the program against a loaded device graph (which must be
+// undirected with sorted neighbor lists).
+func New(m *updown.Machine, dg *graph.DeviceGraph, cfg Config) (*App, error) {
+	if cfg.Lanes.Count == 0 {
+		cfg.Lanes = kvmsr.AllLanes(m.Arch)
+	}
+	a := &App{m: m, dg: dg, cfg: cfg}
+	p := m.Prog
+	a.cc = collections.NewCombiningCache(p, "tc.count", collections.AddU64)
+
+	kvMap := p.Define("tc.kv_map", a.kvMap)
+	a.lURecord = p.Define("tc.u_record", a.uRecord)
+	a.lUChunk = p.Define("tc.u_chunk", a.uChunk)
+	kvReduce := p.Define("tc.kv_reduce", a.kvReduce)
+	a.lVRecord = p.Define("tc.v_record", a.vRecord)
+	a.lAChunk = p.Define("tc.a_chunk", a.aChunk)
+	a.lBChunk = p.Define("tc.b_chunk", a.bChunk)
+	flushBody := p.Define("tc.flush", a.flushBody)
+	a.lFlushed = p.Define("tc.flushed", a.flushed)
+	a.lDriver = p.Define("tc.driver", a.driver)
+
+	var mb kvmsr.MapBinding = kvmsr.Block{}
+	if cfg.UsePBMW {
+		mb = kvmsr.PBMW{}
+	}
+	var err error
+	a.mainInv, err = kvmsr.New(p, kvmsr.Spec{
+		Name: "tc.main", NumKeys: uint64(dg.G.N),
+		MapEvent: kvMap, ReduceEvent: kvReduce, MapBinding: mb,
+		Lanes: cfg.Lanes, MaxOutstanding: cfg.MaxOutstanding,
+	})
+	if err != nil {
+		return nil, err
+	}
+	a.flushInv, err = kvmsr.New(p, kvmsr.Spec{
+		Name: "tc.flushall", NumKeys: uint64(cfg.Lanes.Count),
+		MapEvent: flushBody, Lanes: cfg.Lanes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	a.totalsVA, err = m.GAS.DRAMmalloc(uint64(cfg.Lanes.Count)*gasmem.WordBytes, 0, 1, 4096)
+	if err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// Run simulates to completion.
+func (a *App) Run() (updown.Stats, error) {
+	a.m.Start(updown.EvwNew(a.cfg.Lanes.First, a.lDriver))
+	return a.m.Run()
+}
+
+// Elapsed returns the simulated cycles of the measured region.
+func (a *App) Elapsed() updown.Cycles { return a.Done - a.Start }
+
+// Total reads back the per-edge intersection total (3x the triangle
+// count); host side, post-run.
+func (a *App) Total() uint64 {
+	var sum uint64
+	for i := 0; i < a.cfg.Lanes.Count; i++ {
+		sum += a.m.GAS.ReadU64(a.totalsVA + uint64(i)*gasmem.WordBytes)
+	}
+	return sum
+}
+
+// Triangles returns the triangle count.
+func (a *App) Triangles() uint64 { return a.Total() / 3 }
+
+func (a *App) driver(c *updown.Ctx) {
+	if c.State() == nil {
+		a.Start = c.Now()
+		c.SetState("main")
+		a.mainInv.Launch(c, uint64(a.dg.G.N), c.ContinueTo(a.lDriver))
+		return
+	}
+	switch c.State().(string) {
+	case "main":
+		c.SetState("flush")
+		a.flushInv.Launch(c, uint64(a.cfg.Lanes.Count), c.ContinueTo(a.lDriver))
+	case "flush":
+		a.Done = c.Now()
+		c.YieldTerminate()
+	}
+}
+
+// kvMap: read u's record, then stream its list, emitting each pair u > v.
+func (a *App) kvMap(c *updown.Ctx) {
+	u := c.Op(0)
+	c.SetState(&mapState{mapCont: c.Cont(), u: u})
+	c.Cycles(4)
+	c.DRAMRead(a.dg.FieldVA(uint32(u), graph.VDegree), 2, c.ContinueTo(a.lURecord))
+}
+
+func (a *App) uRecord(c *updown.Ctx) {
+	st := c.State().(*mapState)
+	st.degree = c.Op(0)
+	st.neighVA = c.Op(1)
+	if st.degree == 0 {
+		a.mainInv.Return(c, st.mapCont)
+		c.YieldTerminate()
+		return
+	}
+	c.Cycles(4)
+	ret := c.ContinueTo(a.lUChunk)
+	for off := uint64(0); off < st.degree; off += 8 {
+		n := st.degree - off
+		if n > 8 {
+			n = 8
+		}
+		c.Cycles(2)
+		c.DRAMRead(st.neighVA+off*gasmem.WordBytes, int(n), ret)
+	}
+}
+
+func (a *App) uChunk(c *updown.Ctx) {
+	st := c.State().(*mapState)
+	n := c.NOps()
+	c.Cycles(2 * n)
+	for i := 0; i < n; i++ {
+		v := c.Op(i)
+		if v < st.u {
+			// Pass u's list descriptor so the reduce reads only v's.
+			a.mainInv.Emit(c, pairKey(st.u, v), uint64(st.neighVA), st.degree)
+		}
+	}
+	st.loaded += uint64(n)
+	if st.loaded == st.degree {
+		a.mainInv.Return(c, st.mapCont)
+		c.YieldTerminate()
+	}
+}
+
+// kvReduce intersects N(u) and N(v) for one pair.
+func (a *App) kvReduce(c *updown.Ctx) {
+	key := c.Op(0)
+	v := uint32(key & 0xFFFFFFFF)
+	st := &reduceState{aVA: c.Op(1), aLen: c.Op(2)}
+	c.SetState(st)
+	c.Cycles(6)
+	c.DRAMRead(a.dg.FieldVA(v, graph.VDegree), 2, c.ContinueTo(a.lVRecord))
+}
+
+func (a *App) vRecord(c *updown.Ctx) {
+	st := c.State().(*reduceState)
+	st.bLen = c.Op(0)
+	st.bVA = c.Op(1)
+	if st.aLen == 0 || st.bLen == 0 {
+		a.finishReduce(c, st)
+		return
+	}
+	// Cache the smaller list in the scratchpad set.
+	if st.bLen < st.aLen {
+		st.aVA, st.bVA = st.bVA, st.aVA
+		st.aLen, st.bLen = st.bLen, st.aLen
+	}
+	st.set = make(map[uint64]struct{}, st.aLen)
+	a.issueAll(c, st.aVA, st.aLen, a.lAChunk)
+	st.pending = int((st.aLen + 7) / 8)
+}
+
+// issueAll launches every chunk read of a list at once; responses are
+// order-independent.
+func (a *App) issueAll(c *udweave.Ctx, va gasmem.VA, length uint64, ret udweave.Label) {
+	cont := c.ContinueTo(ret)
+	for off := uint64(0); off < length; off += 8 {
+		n := length - off
+		if n > 8 {
+			n = 8
+		}
+		c.Cycles(2)
+		c.DRAMRead(va+off*gasmem.WordBytes, int(n), cont)
+	}
+}
+
+// aChunk inserts one chunk of the cached list into the scratchpad set.
+func (a *App) aChunk(c *updown.Ctx) {
+	st := c.State().(*reduceState)
+	n := c.NOps()
+	c.ScratchAccess(n)
+	c.Cycles(2 * n)
+	for i := 0; i < n; i++ {
+		st.set[c.Op(i)] = struct{}{}
+	}
+	st.pending--
+	if st.pending == 0 {
+		// Set complete: stream the larger list against it.
+		st.streaming = true
+		a.issueAll(c, st.bVA, st.bLen, a.lBChunk)
+		st.pending = int((st.bLen + 7) / 8)
+	}
+}
+
+// bChunk probes one chunk of the streamed list against the set.
+func (a *App) bChunk(c *updown.Ctx) {
+	st := c.State().(*reduceState)
+	n := c.NOps()
+	c.ScratchAccess(n)
+	c.Cycles(2 * n)
+	for i := 0; i < n; i++ {
+		if _, ok := st.set[c.Op(i)]; ok {
+			st.count++
+		}
+	}
+	st.pending--
+	if st.pending == 0 {
+		a.finishReduce(c, st)
+	}
+}
+
+func (a *App) finishReduce(c *updown.Ctx, st *reduceState) {
+	if st.count > 0 {
+		laneIdx := a.cfg.Lanes.Index(c.NetworkID())
+		a.cc.Add(c, a.totalsVA+uint64(laneIdx)*gasmem.WordBytes, st.count)
+	}
+	a.mainInv.ReduceDone(c)
+	c.YieldTerminate()
+}
+
+func (a *App) flushBody(c *updown.Ctx) {
+	c.SetState(c.Cont())
+	a.cc.Flush(c, c.ContinueTo(a.lFlushed))
+}
+
+func (a *App) flushed(c *updown.Ctx) {
+	a.flushInv.Return(c, c.State().(uint64))
+	c.YieldTerminate()
+}

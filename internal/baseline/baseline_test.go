@@ -1,0 +1,117 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"updown/internal/graph"
+)
+
+func triangleGraph() *graph.Graph {
+	return graph.FromEdges(3, []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 0, Dst: 2}},
+		graph.BuildOptions{Undirected: true, Dedup: true, SortNeighbors: true})
+}
+
+func k4() *graph.Graph {
+	var e []graph.Edge
+	for i := uint32(0); i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			e = append(e, graph.Edge{Src: i, Dst: j})
+		}
+	}
+	return graph.FromEdges(4, e, graph.BuildOptions{Undirected: true, Dedup: true, SortNeighbors: true})
+}
+
+func TestPageRankSumsToOne(t *testing.T) {
+	g := graph.FromEdges(256, graph.DefaultRMAT(8, 11), graph.BuildOptions{
+		Undirected: true, Dedup: true, DropSelfLoops: true, SortNeighbors: true})
+	pr := PageRank(g, 10)
+	sum := 0.0
+	for _, v := range pr {
+		sum += v
+	}
+	// With no dangling vertices (undirected, every touched vertex has
+	// out-edges) mass is conserved up to the untouched-vertex leak;
+	// allow a loose bound.
+	if sum < 0.5 || sum > 1.01 {
+		t.Fatalf("PageRank mass = %v", sum)
+	}
+	for v, p := range pr {
+		if p <= 0 || math.IsNaN(p) {
+			t.Fatalf("vertex %d rank %v", v, p)
+		}
+	}
+}
+
+func TestPageRankKnownCycle(t *testing.T) {
+	// A 3-cycle is symmetric: every vertex converges to 1/3.
+	g := graph.FromEdges(3, []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 0}}, graph.BuildOptions{})
+	pr := PageRank(g, 50)
+	for v, p := range pr {
+		if math.Abs(p-1.0/3) > 1e-12 {
+			t.Fatalf("vertex %d rank %v, want 1/3", v, p)
+		}
+	}
+}
+
+func TestPageRankParallelMatchesSequential(t *testing.T) {
+	g := graph.FromEdges(512, graph.DefaultRMAT(9, 5), graph.BuildOptions{Dedup: true})
+	a := PageRank(g, 5)
+	b := PageRankParallel(g, 5, 4)
+	for v := range a {
+		if math.Abs(a[v]-b[v]) > 1e-9*(math.Abs(a[v])+1e-30) && math.Abs(a[v]-b[v]) > 1e-14 {
+			t.Fatalf("vertex %d: %v vs %v", v, a[v], b[v])
+		}
+	}
+}
+
+func TestBFSPath(t *testing.T) {
+	g := graph.FromEdges(5, []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 3}}, graph.BuildOptions{})
+	d := BFS(g, 0)
+	want := []uint32{0, 1, 2, 3, Unreached}
+	for v := range want {
+		if d[v] != want[v] {
+			t.Fatalf("dist = %v, want %v", d, want)
+		}
+	}
+}
+
+func TestBFSParallelMatchesSequential(t *testing.T) {
+	g := graph.FromEdges(1024, graph.DefaultRMAT(10, 3), graph.BuildOptions{
+		Undirected: true, Dedup: true, DropSelfLoops: true})
+	a := BFS(g, 28)
+	b := BFSParallel(g, 28, 8)
+	for v := range a {
+		if a[v] != b[v] {
+			t.Fatalf("vertex %d: %d vs %d", v, a[v], b[v])
+		}
+	}
+}
+
+func TestTriangleCountKnown(t *testing.T) {
+	if got := TriangleCount(triangleGraph()); got != 3 {
+		t.Fatalf("triangle: %d, want 3 (one triangle per edge)", got)
+	}
+	if got := Triangles(TriangleCount(triangleGraph())); got != 1 {
+		t.Fatalf("triangle count: %d, want 1", got)
+	}
+	if got := Triangles(TriangleCount(k4())); got != 4 {
+		t.Fatalf("K4 triangles: %d, want 4", got)
+	}
+}
+
+func TestTriangleCountParallelMatches(t *testing.T) {
+	g := graph.FromEdges(512, graph.DefaultRMAT(9, 17), graph.BuildOptions{
+		Undirected: true, Dedup: true, DropSelfLoops: true, SortNeighbors: true})
+	a := TriangleCount(g)
+	b := TriangleCountParallel(g, 8)
+	if a != b {
+		t.Fatalf("parallel %d != sequential %d", b, a)
+	}
+	if a == 0 {
+		t.Fatal("RMAT graph has no triangles?")
+	}
+	if a%3 != 0 {
+		t.Fatalf("intersection total %d not divisible by 3 on an undirected graph", a)
+	}
+}

@@ -1,0 +1,507 @@
+package collections_test
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"updown"
+	"updown/internal/collections"
+	"updown/internal/kvmsr"
+	"updown/internal/udweave"
+)
+
+func newMachine(t *testing.T, nodes int) *updown.Machine {
+	t.Helper()
+	m, err := updown.New(updown.Config{Nodes: nodes, Shards: 1, MaxTime: 1 << 36})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// The combining cache must produce the same totals as direct accumulation:
+// updates combined in scratchpads, then flushed to DRAM by a doAll.
+func TestCombiningCacheFetchAdd(t *testing.T) {
+	m := newMachine(t, 2)
+	// Exclusive ownership discipline (the combining-cache contract):
+	// slot s is updated only by lane s, so the flush read-modify-writes
+	// never race.
+	const slots = 256
+	const updatesPerLane = 50
+	va, err := m.GAS.DRAMmalloc(slots*8, 0, 2, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc := collections.NewCombiningCache(m.Prog, "fna", collections.AddU64)
+	lanes := kvmsr.LaneSet{First: 0, Count: slots}
+	var updInv, flushInv *kvmsr.Invocation
+	var flushed udweave.Label
+	upd := m.Prog.Define("upd", func(c *updown.Ctx) {
+		lane := uint64(c.NetworkID())
+		slot := lane % slots
+		for i := 0; i < updatesPerLane; i++ {
+			cc.Add(c, va+slot*8, 1)
+		}
+		updInv.Return(c, c.Cont())
+		c.YieldTerminate()
+	})
+	flush := m.Prog.Define("flush", func(c *updown.Ctx) {
+		// Multi-event map task: save the continuation, flush, return.
+		c.SetState(c.Cont())
+		cc.Flush(c, c.ContinueTo(flushed))
+	})
+	flushed = m.Prog.Define("flushed", func(c *updown.Ctx) {
+		flushInv.Return(c, c.State().(uint64))
+		c.YieldTerminate()
+	})
+	updInv = kvmsr.MustNew(m.Prog, kvmsr.Spec{
+		Name: "updphase", MapEvent: upd, Lanes: lanes})
+	flushInv = kvmsr.MustNew(m.Prog, kvmsr.Spec{
+		Name: "flushphase", MapEvent: flush, Lanes: lanes})
+
+	// Drive the two phases from a driver thread that stays alive.
+	var phase atomic.Int32
+	var driver udweave.Label
+	driver = m.Prog.Define("driver", func(c *updown.Ctx) {
+		switch phase.Add(1) {
+		case 1:
+			updInv.Launch(c, uint64(lanes.Count), c.ContinueTo(driver))
+		case 2:
+			flushInv.Launch(c, uint64(lanes.Count), c.ContinueTo(driver))
+		default:
+			c.YieldTerminate()
+		}
+	})
+	m.Start(updown.EvwNew(0, driver))
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Each lane did 50 adds to its own slot.
+	for s := uint64(0); s < slots; s++ {
+		if got := m.GAS.ReadU64(va + s*8); got != updatesPerLane {
+			t.Fatalf("slot %d = %d, want %d", s, got, updatesPerLane)
+		}
+	}
+}
+
+func TestCombiningCacheFloatCombine(t *testing.T) {
+	m := newMachine(t, 1)
+	va, _ := m.GAS.DRAMmalloc(4096, 0, 1, 4096)
+	m.GAS.WriteU64(va, updown.FloatBits(1.5))
+	cc := collections.NewCombiningCache(m.Prog, "fadd", collections.AddF64)
+	var fin udweave.Label
+	start := m.Prog.Define("start", func(c *updown.Ctx) {
+		cc.Add(c, va, updown.FloatBits(0.25))
+		cc.Add(c, va, updown.FloatBits(0.25))
+		cc.Flush(c, c.ContinueTo(fin))
+	})
+	fin = m.Prog.Define("fin", func(c *updown.Ctx) { c.YieldTerminate() })
+	m.Start(updown.EvwNew(0, start))
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := updown.BitsFloat(m.GAS.ReadU64(va)); got != 2.0 {
+		t.Fatalf("float accumulator = %v, want 2.0", got)
+	}
+}
+
+func TestCombiningCacheEmptyFlush(t *testing.T) {
+	m := newMachine(t, 1)
+	cc := collections.NewCombiningCache(m.Prog, "empty", collections.AddU64)
+	fired := false
+	var fin udweave.Label
+	start := m.Prog.Define("start", func(c *updown.Ctx) {
+		cc.Flush(c, c.ContinueTo(fin))
+	})
+	fin = m.Prog.Define("fin", func(c *updown.Ctx) {
+		fired = true
+		c.YieldTerminate()
+	})
+	m.Start(updown.EvwNew(0, start))
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("empty flush never completed")
+	}
+}
+
+func TestMaxU64Combiner(t *testing.T) {
+	if collections.MaxU64(3, 5) != 5 || collections.MaxU64(5, 3) != 5 {
+		t.Fatal("MaxU64 broken")
+	}
+}
+
+// shtRig assembles a machine with one SHT and a driver that runs a list of
+// scripted operations sequentially, recording replies.
+type shtReply struct{ flag, val uint64 }
+
+func runSHTScript(t *testing.T, cfg collections.SHTConfig, nodes int, ops [][3]uint64) []shtReply {
+	t.Helper()
+	m := newMachine(t, nodes)
+	cfg.Lanes = kvmsr.LaneSet{First: 0, Count: cfg.Lanes.Count}
+	sht, err := collections.NewSHT(m.Prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sht.Alloc(m.GAS); err != nil {
+		t.Fatal(err)
+	}
+	var replies []shtReply
+	idx := 0
+	var step udweave.Label
+	issue := func(c *updown.Ctx) {
+		kind, key, val := ops[idx][0], ops[idx][1], ops[idx][2]
+		cont := c.ContinueTo(step)
+		switch kind {
+		case 0:
+			sht.Put(c, key, val, cont)
+		case 1:
+			sht.PutIfAbsent(c, key, val, cont)
+		case 2:
+			sht.Get(c, key, cont)
+		case 3:
+			sht.Add(c, key, val, cont)
+		}
+	}
+	step = m.Prog.Define("step", func(c *updown.Ctx) {
+		replies = append(replies, shtReply{c.Op(0), c.Op(1)})
+		idx++
+		if idx >= len(ops) {
+			c.YieldTerminate()
+			return
+		}
+		issue(c)
+	})
+	start := m.Prog.Define("start", func(c *updown.Ctx) { issue(c) })
+	m.Start(updown.EvwNew(0, start))
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(replies) != len(ops) {
+		t.Fatalf("%d replies for %d ops", len(replies), len(ops))
+	}
+	return replies
+}
+
+func TestSHTBasicOps(t *testing.T) {
+	cfg := collections.SHTConfig{Name: "t", Lanes: kvmsr.LaneSet{Count: 64},
+		BucketsPerLane: 16, EntriesPerBucket: 4}
+	r := runSHTScript(t, cfg, 1, [][3]uint64{
+		{1, 100, 7},  // PutIfAbsent new -> (0, 7)
+		{2, 100, 0},  // Get -> (1, 7)
+		{1, 100, 9},  // PutIfAbsent existing -> (1, 7)
+		{0, 100, 11}, // Put overwrite -> (1, 7)
+		{2, 100, 0},  // Get -> (1, 11)
+		{2, 200, 0},  // Get missing -> (0, 0)
+		{3, 300, 5},  // Add new -> (0, 5)
+		{3, 300, 6},  // Add existing -> (1, 11)
+		{2, 300, 0},  // Get -> (1, 11)
+	})
+	want := []shtReply{{0, 7}, {1, 7}, {1, 7}, {1, 7}, {1, 11}, {0, 0}, {0, 5}, {1, 11}, {1, 11}}
+	for i := range want {
+		if r[i] != want[i] {
+			t.Fatalf("op %d reply (%d,%d), want (%d,%d)", i, r[i].flag, r[i].val, want[i].flag, want[i].val)
+		}
+	}
+}
+
+// A tiny table forces bucket overflow: probing must still find every key.
+func TestSHTOverflowProbing(t *testing.T) {
+	cfg := collections.SHTConfig{Name: "tiny", Lanes: kvmsr.LaneSet{Count: 2},
+		BucketsPerLane: 4, EntriesPerBucket: 2}
+	const n = 12 // 12 keys over 2 lanes x 8 slots = 75% load
+	var ops [][3]uint64
+	for k := uint64(0); k < n; k++ {
+		ops = append(ops, [3]uint64{1, k * 1000003, k})
+	}
+	for k := uint64(0); k < n; k++ {
+		ops = append(ops, [3]uint64{2, k * 1000003, 0})
+	}
+	r := runSHTScript(t, cfg, 1, ops)
+	for k := 0; k < n; k++ {
+		if r[k].flag != 0 {
+			t.Fatalf("insert %d reported existing", k)
+		}
+		got := r[n+k]
+		if got.flag != 1 || got.val != uint64(k) {
+			t.Fatalf("lookup %d = (%d,%d), want (1,%d)", k, got.flag, got.val, k)
+		}
+	}
+}
+
+// Concurrent increments of one key from many lanes must serialize through
+// the owner lane's bucket lock.
+func TestSHTConcurrentAddsSerialize(t *testing.T) {
+	m := newMachine(t, 2)
+	sht, err := collections.NewSHT(m.Prog, collections.SHTConfig{
+		Name: "ctr", Lanes: kvmsr.LaneSet{First: 0, Count: 512},
+		BucketsPerLane: 8, EntriesPerBucket: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sht.Alloc(m.GAS); err != nil {
+		t.Fatal(err)
+	}
+	const key = 777
+	const adders = 300
+	var acks atomic.Int64
+	var maxVal atomic.Uint64
+	var ack udweave.Label
+	add := m.Prog.Define("add", func(c *updown.Ctx) {
+		sht.Add(c, key, 1, c.ContinueTo(ack))
+	})
+	ack = m.Prog.Define("ack", func(c *updown.Ctx) {
+		acks.Add(1)
+		for {
+			cur := maxVal.Load()
+			if c.Op(1) <= cur || maxVal.CompareAndSwap(cur, c.Op(1)) {
+				break
+			}
+		}
+		c.YieldTerminate()
+	})
+	for i := 0; i < adders; i++ {
+		m.Start(updown.EvwNew(updown.NetworkID(i%1024), add))
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if acks.Load() != adders {
+		t.Fatalf("%d acks, want %d", acks.Load(), adders)
+	}
+	if maxVal.Load() != adders {
+		t.Fatalf("final counter %d, want %d", maxVal.Load(), adders)
+	}
+}
+
+// Mixed concurrent PutIfAbsent on colliding keys: exactly one insert wins
+// per key.
+func TestSHTConcurrentPutIfAbsent(t *testing.T) {
+	m := newMachine(t, 1)
+	sht, err := collections.NewSHT(m.Prog, collections.SHTConfig{
+		Name: "pia", Lanes: kvmsr.LaneSet{First: 0, Count: 16},
+		BucketsPerLane: 4, EntriesPerBucket: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sht.Alloc(m.GAS); err != nil {
+		t.Fatal(err)
+	}
+	const keys = 20
+	const attemptsPerKey = 10
+	var wins, losses atomic.Int64
+	var ack udweave.Label
+	try := m.Prog.Define("try", func(c *updown.Ctx) {
+		sht.PutIfAbsent(c, c.Op(0), c.Op(1), c.ContinueTo(ack))
+	})
+	ack = m.Prog.Define("ack", func(c *updown.Ctx) {
+		if c.Op(0) == 0 {
+			wins.Add(1)
+		} else {
+			losses.Add(1)
+		}
+		c.YieldTerminate()
+	})
+	lane := 0
+	for k := uint64(0); k < keys; k++ {
+		for a := 0; a < attemptsPerKey; a++ {
+			m.Start(updown.EvwNew(updown.NetworkID(lane%2048), try), k*7919, uint64(a))
+			lane++
+		}
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if wins.Load() != keys {
+		t.Fatalf("%d inserts won, want %d", wins.Load(), keys)
+	}
+	if losses.Load() != keys*(attemptsPerKey-1) {
+		t.Fatalf("%d inserts lost, want %d", losses.Load(), keys*(attemptsPerKey-1))
+	}
+}
+
+func TestSHTConfigValidation(t *testing.T) {
+	m := newMachine(t, 1)
+	bad := []collections.SHTConfig{
+		{Name: "a", Lanes: kvmsr.LaneSet{Count: 0}, BucketsPerLane: 4, EntriesPerBucket: 4},
+		{Name: "b", Lanes: kvmsr.LaneSet{Count: 4}, BucketsPerLane: 3, EntriesPerBucket: 4},
+		{Name: "c", Lanes: kvmsr.LaneSet{Count: 4}, BucketsPerLane: 4, EntriesPerBucket: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := collections.NewSHT(m.Prog, cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+// Frontier appends must land in the appending lane's own accelerator
+// segment, with per-parity double buffering.
+func TestFrontierAppendAndParity(t *testing.T) {
+	m := newMachine(t, 1)
+	lanes := kvmsr.LaneSet{First: 0, Count: 4 * 64} // 4 accelerators
+	f, err := collections.NewFrontier(m.Prog, "front", lanes, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Alloc(m.GAS); err != nil {
+		t.Fatal(err)
+	}
+	var acked atomic.Int64
+	var ack udweave.Label
+	app := m.Prog.Define("app", func(c *updown.Ctx) {
+		f.Append(c, int(c.Op(0)), c.Op(1), c.ContinueTo(ack))
+	})
+	ack = m.Prog.Define("ack", func(c *updown.Ctx) {
+		acked.Add(1)
+		c.YieldTerminate()
+	})
+	// 10 appends per accelerator on parity 0, 5 on parity 1, from
+	// assorted lanes of each accelerator.
+	for accel := 0; accel < 4; accel++ {
+		for i := 0; i < 10; i++ {
+			lane := updown.NetworkID(accel*64 + (i*7)%64)
+			m.Start(updown.EvwNew(lane, app), 0, uint64(accel*1000+i))
+		}
+		for i := 0; i < 5; i++ {
+			lane := updown.NetworkID(accel*64 + (i*13)%64)
+			m.Start(updown.EvwNew(lane, app), 1, uint64(accel*1000+500+i))
+		}
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if acked.Load() != 4*15 {
+		t.Fatalf("%d acks, want %d", acked.Load(), 4*15)
+	}
+	// Verify segment contents: each accel's parity-0 segment holds its
+	// own ten values (order unspecified), parity-1 its five.
+	for accel := 0; accel < 4; accel++ {
+		seen := map[uint64]bool{}
+		for i := 0; i < 10; i++ {
+			seen[m.GAS.ReadU64(f.SegmentVA(accel, 0)+uint64(i)*8)] = true
+		}
+		for i := 0; i < 10; i++ {
+			if !seen[uint64(accel*1000+i)] {
+				t.Fatalf("accel %d parity 0 missing value %d", accel, accel*1000+i)
+			}
+		}
+		for i := 0; i < 5; i++ {
+			v := m.GAS.ReadU64(f.SegmentVA(accel, 1) + uint64(i)*8)
+			if v < uint64(accel*1000+500) || v >= uint64(accel*1000+505) {
+				t.Fatalf("accel %d parity 1 slot %d holds %d", accel, i, v)
+			}
+		}
+	}
+}
+
+func TestFrontierValidation(t *testing.T) {
+	m := newMachine(t, 1)
+	if _, err := collections.NewFrontier(m.Prog, "x", kvmsr.LaneSet{First: 3, Count: 64}, 16); err == nil {
+		t.Error("unaligned lane set accepted")
+	}
+	if _, err := collections.NewFrontier(m.Prog, "y", kvmsr.LaneSet{First: 0, Count: 63}, 16); err == nil {
+		t.Error("partial accelerator accepted")
+	}
+	if _, err := collections.NewFrontier(m.Prog, "z", kvmsr.LaneSet{First: 0, Count: 64}, 0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+}
+
+// Shmem: symmetric put/get, barrier ordering, and all-reduce.
+func TestShmemPutGetBarrierAllReduce(t *testing.T) {
+	m := newMachine(t, 2)
+	lanes := kvmsr.LaneSet{First: 0, Count: 512}
+	sh, err := collections.NewShmem(m.Prog, lanes, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.Alloc(m.GAS); err != nil {
+		t.Fatal(err)
+	}
+	// Phase 1 (doAll): every lane puts its ID+1 into its RIGHT neighbor's
+	// word 0 (ring). Barrier. Phase 2: all-reduce word 0 — the total must
+	// be sum(1..512).
+	var fill *kvmsr.Invocation
+	var putAck udweave.Label
+	fillBody := m.Prog.Define("sh.fill", func(c *updown.Ctx) {
+		c.SetState(c.Cont())
+		self := c.NetworkID()
+		peer := lanes.First + updown.NetworkID((lanes.Index(self)+1)%lanes.Count)
+		sh.Put(c, peer, 0, c.ContinueTo(putAck), uint64(lanes.Index(self))+1)
+	})
+	putAck = m.Prog.Define("sh.put_ack", func(c *updown.Ctx) {
+		fill.Return(c, c.State().(uint64))
+		c.YieldTerminate()
+	})
+	fill = kvmsr.MustNew(m.Prog, kvmsr.Spec{
+		Name: "sh.fillall", NumKeys: uint64(lanes.Count),
+		MapEvent: fillBody, Lanes: lanes})
+	var phase atomic.Int32
+	var driver udweave.Label
+	driver = m.Prog.Define("sh.driver", func(c *updown.Ctx) {
+		switch phase.Add(1) {
+		case 1:
+			fill.Launch(c, uint64(lanes.Count), c.ContinueTo(driver))
+		case 2:
+			sh.Barrier(c, c.ContinueTo(driver))
+		case 3:
+			sh.AllReduceSum(c, 0, c.ContinueTo(driver))
+		default:
+			c.YieldTerminate()
+		}
+	})
+	m.Start(updown.EvwNew(0, driver))
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := uint64(512 * 513 / 2)
+	if got := sh.Result(m.GAS); got != want {
+		t.Fatalf("all-reduce = %d, want %d", got, want)
+	}
+	// Spot-check the symmetric layout: lane 5's word 0 was written by
+	// lane 4 (value 5).
+	if got := m.GAS.ReadU64(sh.AddrForTest(5, 0)); got != 5 {
+		t.Fatalf("lane 5 word 0 = %d, want 5", got)
+	}
+}
+
+func TestShmemBackToBackCollectives(t *testing.T) {
+	m := newMachine(t, 1)
+	lanes := kvmsr.LaneSet{First: 0, Count: 64}
+	sh, err := collections.NewShmem(m.Prog, lanes, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.Alloc(m.GAS); err != nil {
+		t.Fatal(err)
+	}
+	// All words start zero; two consecutive all-reduces must both be 0
+	// (the second must not inherit the first round's accumulator).
+	var rounds atomic.Int32
+	var driver udweave.Label
+	driver = m.Prog.Define("sh2.driver", func(c *updown.Ctx) {
+		if rounds.Add(1) <= 2 {
+			sh.AllReduceSum(c, 0, c.ContinueTo(driver))
+			return
+		}
+		c.YieldTerminate()
+	})
+	m.Start(updown.EvwNew(0, driver))
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sh.Result(m.GAS); got != 0 {
+		t.Fatalf("second all-reduce = %d, want 0", got)
+	}
+}
+
+func TestShmemValidation(t *testing.T) {
+	m := newMachine(t, 1)
+	if _, err := collections.NewShmem(m.Prog, kvmsr.LaneSet{First: 0, Count: 64}, 0); err == nil {
+		t.Error("zero-word block accepted")
+	}
+	if _, err := collections.NewShmem(m.Prog, kvmsr.LaneSet{}, 4); err == nil {
+		t.Error("empty lane set accepted")
+	}
+}

@@ -1,0 +1,187 @@
+// Package collections provides the scalable data abstractions the paper's
+// applications build on (Table 3, bottom): the combining cache that
+// implements software fetch-and-add, the scalable hash table (SHT), and
+// the distributed frontier used by BFS. All of them are written against
+// the udweave runtime, so their coordination costs are simulated.
+package collections
+
+import (
+	"fmt"
+
+	"updown/internal/gasmem"
+	"updown/internal/udweave"
+)
+
+// CombiningCache implements the paper's software fetch-and-add (footnote 1
+// in Section 4.1): updates to global-memory accumulators are combined in
+// the owning lane's scratchpad and written back to DRAM in a flush phase.
+//
+// Correctness requires exclusive ownership: all updates to a given address
+// must be performed on one lane, which the KVMSR Hash reduce binding
+// guarantees (a key always reduces on the same lane). Under that
+// discipline, Add is a purely local scratchpad operation and the flush is
+// a race-free read-modify-write.
+//
+// The combining operation can be any associative, commutative function
+// over the 64-bit word (integer add, float add on the bit pattern, max).
+type CombiningCache struct {
+	p    *udweave.Program
+	name string
+	slot int
+	op   func(acc, v uint64) uint64
+
+	lFlushRead  udweave.Label
+	lFlushWrite udweave.Label
+	lFlushDone  udweave.Label
+}
+
+// maxFlushWindow bounds in-flight flush write-backs per lane.
+const maxFlushWindow = 64
+
+// ccLaneState is the per-lane cache.
+type ccLaneState struct {
+	acc map[gasmem.VA]uint64
+
+	// flush machinery
+	pendingVAs  []gasmem.VA
+	nextFlush   int
+	outstanding int
+	flushCont   uint64
+}
+
+// flushEntry is the thread state of one in-flight write-back.
+type flushEntry struct {
+	va    gasmem.VA
+	delta uint64
+}
+
+// NewCombiningCache registers a cache with the program. op combines the
+// accumulated delta with the value in memory during flush (and deltas with
+// each other locally), e.g. AddU64 or AddF64.
+func NewCombiningCache(p *udweave.Program, name string, op func(acc, v uint64) uint64) *CombiningCache {
+	cc := &CombiningCache{p: p, name: name, slot: p.AllocSlot(), op: op}
+	cc.lFlushRead = p.Define(name+".flush_read", cc.flushRead)
+	cc.lFlushWrite = p.Define(name+".flush_write", cc.flushWrite)
+	cc.lFlushDone = p.Define(name+".flush_done", cc.flushDone)
+	return cc
+}
+
+// AddU64 is the integer-add combiner.
+func AddU64(acc, v uint64) uint64 { return acc + v }
+
+// AddF64 combines float64 bit patterns by addition.
+func AddF64(acc, v uint64) uint64 {
+	return udweave.FloatBits(udweave.BitsFloat(acc) + udweave.BitsFloat(v))
+}
+
+// MaxU64 is the integer-max combiner.
+func MaxU64(acc, v uint64) uint64 {
+	if v > acc {
+		return v
+	}
+	return acc
+}
+
+func (cc *CombiningCache) st(c *udweave.Ctx) *ccLaneState {
+	return c.LocalSlot(cc.slot, func() any {
+		return &ccLaneState{acc: make(map[gasmem.VA]uint64)}
+	}).(*ccLaneState)
+}
+
+// Add combines v into the lane-local accumulator for va. It costs a few
+// scratchpad accesses and sends no messages.
+func (cc *CombiningCache) Add(c *udweave.Ctx, va gasmem.VA, v uint64) {
+	st := cc.st(c)
+	c.ScratchAccess(2)
+	c.Cycles(4)
+	if acc, ok := st.acc[va]; ok {
+		st.acc[va] = cc.op(acc, v)
+	} else {
+		st.acc[va] = v
+	}
+}
+
+// Pending returns the number of cached accumulators on this lane.
+func (cc *CombiningCache) Pending(c *udweave.Ctx) int { return len(cc.st(c).acc) }
+
+// Flush writes this lane's accumulators back to global memory
+// (read-modify-write per entry, windowed), then replies to doneCont. Run
+// one Flush per lane — typically as the body of a doAll over the lane set.
+// Flushing an empty cache replies immediately.
+func (cc *CombiningCache) Flush(c *udweave.Ctx, doneCont uint64) {
+	st := cc.st(c)
+	if st.flushCont != 0 {
+		panic(fmt.Sprintf("collections: %s: concurrent Flush on lane %d", cc.name, c.NetworkID()))
+	}
+	// Deterministic flush order: VAs were inserted in deterministic
+	// event order, but Go map iteration is randomized, so materialize
+	// and sort.
+	st.pendingVAs = st.pendingVAs[:0]
+	for va := range st.acc {
+		st.pendingVAs = append(st.pendingVAs, va)
+	}
+	sortVAs(st.pendingVAs)
+	st.nextFlush = 0
+	st.outstanding = 0
+	st.flushCont = doneCont
+	c.Cycles(6 + len(st.pendingVAs))
+	cc.pump(c, st)
+}
+
+func (cc *CombiningCache) pump(c *udweave.Ctx, st *ccLaneState) {
+	self := c.NetworkID()
+	for st.outstanding < maxFlushWindow && st.nextFlush < len(st.pendingVAs) {
+		va := st.pendingVAs[st.nextFlush]
+		st.nextFlush++
+		st.outstanding++
+		c.Cycles(3)
+		// One thread per entry: read the memory value, combine, write.
+		c.SendEvent(udweave.EvwNew(self, cc.lFlushRead), udweave.IGNRCONT, va, st.acc[va])
+	}
+	if st.outstanding == 0 && st.nextFlush >= len(st.pendingVAs) {
+		cont := st.flushCont
+		st.flushCont = 0
+		st.acc = make(map[gasmem.VA]uint64)
+		st.pendingVAs = st.pendingVAs[:0]
+		c.Cycles(4)
+		c.Reply(cont)
+	}
+}
+
+// flushRead starts one entry's read-modify-write.
+func (cc *CombiningCache) flushRead(c *udweave.Ctx) {
+	c.SetState(&flushEntry{va: c.Op(0), delta: c.Op(1)})
+	c.DRAMRead(c.Op(0), 1, c.ContinueTo(cc.lFlushWrite))
+}
+
+// flushWrite combines and writes back, waiting for the acknowledgment so
+// that the flush-done signal cannot race ahead of in-flight writes.
+func (cc *CombiningCache) flushWrite(c *udweave.Ctx) {
+	e := c.State().(*flushEntry)
+	combined := cc.op(c.Op(0), e.delta)
+	c.Cycles(4)
+	c.DRAMWrite(e.va, c.ContinueTo(cc.lFlushDone), combined)
+}
+
+// flushDone retires one write-back and refills the window.
+func (cc *CombiningCache) flushDone(c *udweave.Ctx) {
+	st := cc.st(c)
+	st.outstanding--
+	cc.pump(c, st)
+	c.YieldTerminate()
+}
+
+// sortVAs is an insertion/shell sort avoiding package sort's interface
+// overhead on the flush path (entry counts per lane are small).
+func sortVAs(a []gasmem.VA) {
+	for gap := len(a) / 2; gap > 0; gap /= 2 {
+		for i := gap; i < len(a); i++ {
+			v := a[i]
+			j := i
+			for ; j >= gap && a[j-gap] > v; j -= gap {
+				a[j] = a[j-gap]
+			}
+			a[j] = v
+		}
+	}
+}

@@ -1,0 +1,11 @@
+package collections
+
+import (
+	"updown/internal/arch"
+	"updown/internal/gasmem"
+)
+
+// AddrForTest exposes the symmetric address computation.
+func (s *Shmem) AddrForTest(lane arch.NetworkID, word int) gasmem.VA {
+	return s.Addr(lane, word)
+}

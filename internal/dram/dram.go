@@ -1,0 +1,115 @@
+// Package dram models each node's HBM memory system: a controller actor
+// that serves split-phase read/write/fetch-add requests with a fixed access
+// latency and a per-node bandwidth budget (paper Section 3: 9.4 TB/s per
+// node). Requests arriving faster than the bandwidth allows queue behind a
+// busy-until horizon, which is what makes the DRAMmalloc striping sweep
+// (Figure 12) show its bandwidth knee.
+package dram
+
+import (
+	"fmt"
+
+	"updown/internal/arch"
+	"updown/internal/gasmem"
+	"updown/internal/sim"
+	"updown/internal/udweave"
+)
+
+// Controller serves global-memory requests for one node. Requests are
+// applied to the backing store in deterministic arrival order, which
+// provides a single serialization point per node: the simulated memory is
+// sequentially consistent per location.
+type Controller struct {
+	node int
+	m    arch.Machine
+	gas  *gasmem.GAS
+	// busy64 is the bandwidth occupancy horizon in 1/64-cycle units;
+	// at 4700 bytes/cycle a 64-byte access occupies well under a cycle,
+	// so sub-cycle resolution is needed to model contention faithfully.
+	busy64 int64
+	// Bytes served (per-node traffic statistics).
+	Bytes int64
+}
+
+// Install creates one controller per node and registers them with the
+// engine. It returns the controllers for inspection.
+func Install(e *sim.Engine, gas *gasmem.GAS) []*Controller {
+	ctrls := make([]*Controller, e.M.Nodes)
+	for n := 0; n < e.M.Nodes; n++ {
+		c := &Controller{node: n, m: e.M, gas: gas}
+		ctrls[n] = c
+		e.SetActor(e.M.MemCtrlID(n), c)
+	}
+	return ctrls
+}
+
+// OnMessage implements sim.Actor.
+func (c *Controller) OnMessage(env *sim.Env, m *sim.Message) {
+	switch m.Kind {
+	case arch.KindDRAMRead:
+		va := m.Ops[0]
+		n := int(m.Ops[1])
+		if n <= 0 || n > sim.MaxOperands {
+			panic(fmt.Sprintf("dram: read of %d words", n))
+		}
+		var words [sim.MaxOperands]uint64
+		for i := 0; i < n; i++ {
+			words[i] = c.gas.ReadU64(va + uint64(i)*gasmem.WordBytes)
+		}
+		delay := c.service(env, int64(n)*gasmem.WordBytes)
+		if m.Cont != udweave.IGNRCONT {
+			c.respond(env, delay, m.Cont, words[:n])
+		}
+	case arch.KindDRAMWrite:
+		va := m.Ops[0]
+		n := int(m.NOps) - 1
+		for i := 0; i < n; i++ {
+			c.gas.WriteU64(va+uint64(i)*gasmem.WordBytes, m.Ops[1+i])
+		}
+		delay := c.service(env, int64(n)*gasmem.WordBytes)
+		if m.Cont != udweave.IGNRCONT {
+			c.respond(env, delay, m.Cont, nil)
+		}
+	case arch.KindDRAMFetchAdd:
+		old := c.gas.AddU64(m.Ops[0], m.Ops[1])
+		delay := c.service(env, 2*gasmem.WordBytes) // read-modify-write
+		if m.Cont != udweave.IGNRCONT {
+			c.respond(env, delay, m.Cont, []uint64{old})
+		}
+	case arch.KindDRAMFetchAddF:
+		old := c.gas.ReadU64(m.Ops[0])
+		sum := udweave.FloatBits(udweave.BitsFloat(old) + udweave.BitsFloat(m.Ops[1]))
+		c.gas.WriteU64(m.Ops[0], sum)
+		delay := c.service(env, 2*gasmem.WordBytes)
+		if m.Cont != udweave.IGNRCONT {
+			c.respond(env, delay, m.Cont, []uint64{old})
+		}
+	default:
+		panic(fmt.Sprintf("dram: node %d controller received message kind %d", c.node, m.Kind))
+	}
+}
+
+// service accounts bytes against the node's bandwidth and returns the
+// total delay (queueing + transfer + access latency) before the response
+// may leave the controller.
+func (c *Controller) service(env *sim.Env, bytes int64) arch.Cycles {
+	now64 := int64(env.Now()) * 64
+	if c.busy64 < now64 {
+		c.busy64 = now64
+	}
+	xfer := bytes * 64 / int64(c.m.DRAMBytesPerCycle)
+	if xfer < 1 {
+		xfer = 1
+	}
+	c.busy64 += xfer
+	c.Bytes += bytes
+	env.AddDRAMBytes(bytes)
+	done := arch.Cycles((c.busy64 + 63) / 64)
+	return done - env.Now() + c.m.DRAMLatency
+}
+
+// respond delivers words to a continuation event word after delay cycles.
+func (c *Controller) respond(env *sim.Env, delay arch.Cycles, cont uint64, words []uint64) {
+	dst := udweave.EvwNetworkID(cont)
+	env.SendAfter(delay, dst, arch.KindEvent, cont, udweave.IGNRCONT, words...)
+}

@@ -1,0 +1,236 @@
+// Package gasmem implements UpDown's shared global address space and the
+// DRAMmalloc allocator (paper Section 2.4): contiguous virtual regions are
+// mapped block-cyclically over a set of node memories, each region encoded
+// as a single translation descriptor that converts a virtual address into
+// a physical node number (PNN) and an offset within that node in O(1).
+//
+// Storage is word-granular (the UpDown applications in the paper operate on
+// 64-bit words); virtual addresses are byte addresses and must be 8-byte
+// aligned for data access.
+package gasmem
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"sync"
+)
+
+// VA is a virtual address in the shared global address space.
+type VA = uint64
+
+// WordBytes is the access granularity.
+const WordBytes = 8
+
+// vaBase keeps allocations away from address zero so that a zero VA can be
+// used as "null" by application data structures.
+const vaBase VA = 1 << 20
+
+// Region is one DRAMmalloc allocation: its translation descriptor plus the
+// base physical offset the allocation occupies on each participating node.
+type Region struct {
+	// Base and Size delimit the virtual address range [Base, Base+Size).
+	Base VA
+	Size uint64
+	// FirstNode is the first participating node; NRNodes nodes starting
+	// there hold the data cyclically (power of two, per the paper).
+	FirstNode int
+	NRNodes   int
+	// BS is the distribution block size in bytes (power of two, and at
+	// least 4 KiB in the paper's hardware encoding; smaller values are
+	// accepted here for reduced-scale experiments but remain powers of
+	// two so the descriptor stays a swizzle mask).
+	BS uint64
+
+	// physBase[i] is the physical byte offset of the region's storage on
+	// node FirstNode+i.
+	physBase []uint64
+
+	bsShift  uint
+	nodeMask uint64
+}
+
+// Translate converts a virtual address within the region into the owning
+// node and the physical byte offset on that node. This is the swizzle-mask
+// computation the UpDown hardware performs with no software overhead.
+func (r *Region) Translate(va VA) (node int, phys uint64) {
+	off := va - r.Base
+	blk := off >> r.bsShift
+	n := blk & r.nodeMask
+	within := blk >> bits.Len64(r.nodeMask) // blk / NRNodes (power of two)
+	if r.nodeMask == 0 {
+		within = blk
+	}
+	return r.FirstNode + int(n), r.physBase[n] + within<<r.bsShift + (off & (r.BS - 1))
+}
+
+// Contains reports whether va falls inside the region.
+func (r *Region) Contains(va VA) bool { return va >= r.Base && va < r.Base+r.Size }
+
+// GAS is the global address space of one simulated machine: per-node
+// backing stores plus the set of allocated regions.
+//
+// Concurrency: during simulation each node's store is accessed only by the
+// node's memory controller, which a single simulator shard owns, so no
+// locking is needed on the data path. Host-side setup and verification
+// happen strictly before and after Engine.Run. Allocation takes a mutex so
+// that simulated allocator events could allocate concurrently if needed.
+type GAS struct {
+	mu       sync.Mutex
+	nodes    int
+	capacity uint64
+	store    [][]uint64 // per node, word-addressed
+	used     []uint64   // per node, bytes bump-allocated
+	regions  []*Region  // sorted by Base
+	nextVA   VA
+}
+
+// New creates an address space spanning n node memories of capBytes each.
+func New(n int, capBytes uint64) *GAS {
+	return &GAS{
+		nodes:    n,
+		capacity: capBytes,
+		store:    make([][]uint64, n),
+		used:     make([]uint64, n),
+		nextVA:   vaBase,
+	}
+}
+
+// Nodes returns the number of node memories.
+func (g *GAS) Nodes() int { return g.nodes }
+
+// DRAMmalloc allocates size bytes distributed block-cyclically in blocks of
+// bs bytes over nrNodes nodes starting at firstNode, and returns the base
+// virtual address. It mirrors the paper's
+//
+//	void* DRAMmalloc(size, 1stNode, NRNodes, BS)
+//
+// nrNodes and bs must be powers of two. Passing bs == size/nrNodes yields
+// one contiguous chunk per node (the BFS frontier layout in Section 4.2).
+func (g *GAS) DRAMmalloc(size uint64, firstNode, nrNodes int, bs uint64) (VA, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	switch {
+	case size == 0:
+		return 0, fmt.Errorf("gasmem: zero-size allocation")
+	case nrNodes <= 0 || nrNodes&(nrNodes-1) != 0:
+		return 0, fmt.Errorf("gasmem: NRNodes must be a positive power of two, got %d", nrNodes)
+	case firstNode < 0 || firstNode+nrNodes > g.nodes:
+		return 0, fmt.Errorf("gasmem: nodes [%d,%d) outside machine of %d nodes", firstNode, firstNode+nrNodes, g.nodes)
+	case bs == 0 || bs&(bs-1) != 0:
+		return 0, fmt.Errorf("gasmem: BS must be a power of two, got %d", bs)
+	case bs%WordBytes != 0:
+		return 0, fmt.Errorf("gasmem: BS must be word aligned, got %d", bs)
+	}
+	// Round the region up to a whole number of blocks per node so every
+	// participating node receives the same amount.
+	stride := bs * uint64(nrNodes)
+	rounded := (size + stride - 1) / stride * stride
+	perNode := rounded / uint64(nrNodes)
+
+	r := &Region{
+		Base:      g.nextVA,
+		Size:      rounded,
+		FirstNode: firstNode,
+		NRNodes:   nrNodes,
+		BS:        bs,
+		physBase:  make([]uint64, nrNodes),
+		bsShift:   uint(bits.TrailingZeros64(bs)),
+		nodeMask:  uint64(nrNodes - 1),
+	}
+	for i := 0; i < nrNodes; i++ {
+		if node := firstNode + i; g.used[node]+perNode > g.capacity {
+			return 0, fmt.Errorf("gasmem: node %d over capacity (%d + %d > %d)", node, g.used[node], perNode, g.capacity)
+		}
+	}
+	for i := 0; i < nrNodes; i++ {
+		node := firstNode + i
+		r.physBase[i] = g.used[node]
+		g.used[node] += perNode
+		need := (g.used[node] + WordBytes - 1) / WordBytes
+		if uint64(len(g.store[node])) < need {
+			grown := make([]uint64, need)
+			copy(grown, g.store[node])
+			g.store[node] = grown
+		}
+	}
+	g.nextVA += rounded
+	// Keep regions VA-sorted; allocations are monotone so append suffices.
+	g.regions = append(g.regions, r)
+	return r.Base, nil
+}
+
+// RegionOf returns the region containing va, or nil.
+func (g *GAS) RegionOf(va VA) *Region {
+	rs := g.regions
+	i := sort.Search(len(rs), func(i int) bool { return rs[i].Base+rs[i].Size > va })
+	if i < len(rs) && rs[i].Contains(va) {
+		return rs[i]
+	}
+	return nil
+}
+
+// Translate resolves a virtual address to (node, physical offset). It
+// panics on unmapped addresses: those are program bugs, the simulated
+// analogue of a hardware translation fault.
+func (g *GAS) Translate(va VA) (node int, phys uint64) {
+	r := g.RegionOf(va)
+	if r == nil {
+		panic(fmt.Sprintf("gasmem: translation fault at VA 0x%x", va))
+	}
+	return r.Translate(va)
+}
+
+// NodeOf returns only the owning node of va.
+func (g *GAS) NodeOf(va VA) int {
+	n, _ := g.Translate(va)
+	return n
+}
+
+func (g *GAS) checkAligned(va VA) {
+	if va%WordBytes != 0 {
+		panic(fmt.Sprintf("gasmem: unaligned access at VA 0x%x", va))
+	}
+}
+
+// ReadU64 loads the word at va. During simulation it must only be invoked
+// from the owning node's memory controller; the host may use it freely
+// outside Engine.Run.
+func (g *GAS) ReadU64(va VA) uint64 {
+	g.checkAligned(va)
+	node, phys := g.Translate(va)
+	return g.store[node][phys/WordBytes]
+}
+
+// WriteU64 stores v at va, with the same ownership rules as ReadU64.
+func (g *GAS) WriteU64(va VA, v uint64) {
+	g.checkAligned(va)
+	node, phys := g.Translate(va)
+	g.store[node][phys/WordBytes] = v
+}
+
+// AddU64 adds delta to the word at va and returns the previous value.
+func (g *GAS) AddU64(va VA, delta uint64) uint64 {
+	g.checkAligned(va)
+	node, phys := g.Translate(va)
+	old := g.store[node][phys/WordBytes]
+	g.store[node][phys/WordBytes] = old + delta
+	return old
+}
+
+// ReadWords bulk-loads n consecutive words starting at va into dst.
+func (g *GAS) ReadWords(va VA, dst []uint64) {
+	for i := range dst {
+		dst[i] = g.ReadU64(va + uint64(i)*WordBytes)
+	}
+}
+
+// WriteWords bulk-stores src at va.
+func (g *GAS) WriteWords(va VA, src []uint64) {
+	for i, v := range src {
+		g.WriteU64(va+uint64(i)*WordBytes, v)
+	}
+}
+
+// UsedBytes returns the bytes allocated on a node (capacity accounting).
+func (g *GAS) UsedBytes(node int) uint64 { return g.used[node] }

@@ -1,0 +1,284 @@
+package gasmem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDRAMmallocBasics(t *testing.T) {
+	g := New(4, 1<<30)
+	va, err := g.DRAMmalloc(1<<20, 0, 4, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if va == 0 {
+		t.Fatal("VA 0 must stay unmapped (null)")
+	}
+	g.WriteU64(va, 42)
+	if got := g.ReadU64(va); got != 42 {
+		t.Fatalf("ReadU64 = %d, want 42", got)
+	}
+}
+
+func TestDRAMmallocRejectsBadArgs(t *testing.T) {
+	g := New(4, 1<<30)
+	cases := []struct {
+		name               string
+		size               uint64
+		firstNode, nrNodes int
+		bs                 uint64
+	}{
+		{"zero size", 0, 0, 4, 4096},
+		{"non-power-of-two nodes", 1 << 20, 0, 3, 4096},
+		{"zero nodes", 1 << 20, 0, 0, 4096},
+		{"nodes out of range", 1 << 20, 2, 4, 4096},
+		{"negative first node", 1 << 20, -1, 2, 4096},
+		{"non-power-of-two BS", 1 << 20, 0, 4, 3000},
+		{"zero BS", 1 << 20, 0, 4, 0},
+		{"unaligned BS", 1 << 20, 0, 4, 4},
+	}
+	for _, c := range cases {
+		if _, err := g.DRAMmalloc(c.size, c.firstNode, c.nrNodes, c.bs); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestBlockCyclicDistribution(t *testing.T) {
+	g := New(8, 1<<30)
+	const bs = 4096
+	va, err := g.DRAMmalloc(8*bs*4, 0, 8, bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Block i must land on node i % 8, cycling.
+	for blk := 0; blk < 32; blk++ {
+		node, _ := g.Translate(va + uint64(blk)*bs)
+		if node != blk%8 {
+			t.Fatalf("block %d on node %d, want %d", blk, node, blk%8)
+		}
+	}
+	// Consecutive addresses within a block stay on one node with
+	// consecutive physical offsets.
+	n0, p0 := g.Translate(va)
+	n1, p1 := g.Translate(va + 8)
+	if n0 != n1 || p1 != p0+8 {
+		t.Fatalf("within-block locality broken: (%d,%d) then (%d,%d)", n0, p0, n1, p1)
+	}
+}
+
+func TestDRAMmallocSubsetOfNodes(t *testing.T) {
+	g := New(16, 1<<30)
+	// Paper Table 1: distribute across the "middle" nodes.
+	va, err := g.DRAMmalloc(1<<20, 4, 8, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for blk := 0; blk < 64; blk++ {
+		node, _ := g.Translate(va + uint64(blk)*4096)
+		if node < 4 || node >= 12 {
+			t.Fatalf("block %d on node %d, outside [4,12)", blk, node)
+		}
+	}
+}
+
+// TestDRAMmallocTable1Layouts checks the layouts of the paper's Table 1 at
+// reduced scale (same ratios, fewer nodes).
+func TestDRAMmallocTable1Layouts(t *testing.T) {
+	t.Run("cyclic over whole machine", func(t *testing.T) {
+		g := New(16, 1<<30)
+		va, err := g.DRAMmalloc(16*4096*2, 0, 16, 4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := map[int]bool{}
+		for blk := 0; blk < 16; blk++ {
+			n, _ := g.Translate(va + uint64(blk)*4096)
+			seen[n] = true
+		}
+		if len(seen) != 16 {
+			t.Errorf("first 16 blocks touched %d nodes, want all 16", len(seen))
+		}
+	})
+	t.Run("contiguous region per node", func(t *testing.T) {
+		// (4TB,0,1024,4GB) at reduced scale: size/NRNodes block size
+		// gives each node one contiguous chunk.
+		g := New(4, 1<<30)
+		const size = 4 << 20
+		va, err := g.DRAMmalloc(size, 0, 4, size/4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 4; i++ {
+			base := va + uint64(i)*size/4
+			nStart, _ := g.Translate(base)
+			nEnd, _ := g.Translate(base + size/4 - 8)
+			if nStart != i || nEnd != i {
+				t.Errorf("chunk %d spans nodes %d..%d, want %d", i, nStart, nEnd, i)
+			}
+		}
+	})
+	t.Run("middle nodes cyclic", func(t *testing.T) {
+		// (4TB,4K,8K,1MB) reduced: start node 4, 8 nodes, verify
+		// per-node share equals size/NRNodes.
+		g := New(16, 1<<30)
+		const size = 8 << 20
+		va, err := g.DRAMmalloc(size, 4, 8, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := map[int]int{}
+		for blk := uint64(0); blk < size/(1<<20); blk++ {
+			n, _ := g.Translate(va + blk*(1<<20))
+			counts[n]++
+		}
+		for n := 4; n < 12; n++ {
+			if counts[n] != 1 {
+				t.Errorf("node %d holds %d blocks, want 1", n, counts[n])
+			}
+		}
+	})
+}
+
+func TestCapacityEnforced(t *testing.T) {
+	g := New(2, 1<<20)
+	if _, err := g.DRAMmalloc(4<<20, 0, 2, 4096); err == nil {
+		t.Fatal("allocation beyond per-node capacity accepted")
+	}
+	// And a fitting allocation still works afterwards.
+	if _, err := g.DRAMmalloc(1<<20, 0, 2, 4096); err != nil {
+		t.Fatalf("valid allocation rejected: %v", err)
+	}
+}
+
+func TestMultipleRegionsIndependent(t *testing.T) {
+	g := New(4, 1<<30)
+	a, _ := g.DRAMmalloc(64<<10, 0, 4, 4096)
+	b, _ := g.DRAMmalloc(64<<10, 0, 2, 8192)
+	for i := uint64(0); i < 1024; i++ {
+		g.WriteU64(a+i*8, i)
+		g.WriteU64(b+i*8, 1000000+i)
+	}
+	for i := uint64(0); i < 1024; i++ {
+		if g.ReadU64(a+i*8) != i || g.ReadU64(b+i*8) != 1000000+i {
+			t.Fatalf("regions interfere at word %d", i)
+		}
+	}
+}
+
+func TestTranslationFaultPanics(t *testing.T) {
+	g := New(2, 1<<20)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unmapped access did not fault")
+		}
+	}()
+	g.ReadU64(0x10)
+}
+
+func TestUnalignedAccessPanics(t *testing.T) {
+	g := New(2, 1<<20)
+	va, _ := g.DRAMmalloc(4096, 0, 1, 4096)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unaligned access did not fault")
+		}
+	}()
+	g.ReadU64(va + 3)
+}
+
+func TestAddU64(t *testing.T) {
+	g := New(2, 1<<20)
+	va, _ := g.DRAMmalloc(4096, 0, 1, 4096)
+	g.WriteU64(va, 7)
+	if old := g.AddU64(va, 5); old != 7 {
+		t.Fatalf("AddU64 old = %d, want 7", old)
+	}
+	if got := g.ReadU64(va); got != 12 {
+		t.Fatalf("after AddU64 = %d, want 12", got)
+	}
+}
+
+func TestReadWriteWords(t *testing.T) {
+	g := New(4, 1<<20)
+	va, _ := g.DRAMmalloc(1<<14, 0, 4, 4096)
+	src := []uint64{1, 2, 3, 4, 5, 6, 7, 8}
+	g.WriteWords(va+4096-16, src) // spans a block boundary
+	dst := make([]uint64, len(src))
+	g.ReadWords(va+4096-16, dst)
+	for i := range src {
+		if dst[i] != src[i] {
+			t.Fatalf("word %d: got %d want %d", i, dst[i], src[i])
+		}
+	}
+}
+
+// Property: every address in a region translates to a participating node,
+// and distinct addresses never alias the same (node, physical) pair.
+func TestTranslationProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nodes := 1 << (1 + rng.Intn(4)) // 2..16
+		g := New(nodes, 1<<30)
+		first := rng.Intn(nodes)
+		nr := 1 << rng.Intn(3)
+		for first+nr > nodes {
+			nr /= 2
+		}
+		if nr == 0 {
+			nr = 1
+		}
+		bs := uint64(1) << (9 + rng.Intn(5)) // 512..8192
+		size := uint64(1+rng.Intn(64)) * bs
+		va, err := g.DRAMmalloc(size, first, nr, bs)
+		if err != nil {
+			return false
+		}
+		seen := map[[2]uint64]bool{}
+		seenOff := map[uint64]bool{}
+		for i := 0; i < 512; i++ {
+			off := uint64(rng.Int63n(int64(size/8))) * 8
+			if seenOff[off] {
+				continue
+			}
+			seenOff[off] = true
+			n, p := g.Translate(va + off)
+			if n < first || n >= first+nr {
+				return false
+			}
+			key := [2]uint64{uint64(n), p}
+			if seen[key] {
+				return false // aliasing
+			}
+			seen[key] = true
+			// Round-trip a write through the translated location.
+			g.WriteU64(va+off, off)
+			if g.ReadU64(va+off) != off {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegionOf(t *testing.T) {
+	g := New(4, 1<<30)
+	a, _ := g.DRAMmalloc(1<<16, 0, 4, 4096)
+	b, _ := g.DRAMmalloc(1<<16, 0, 4, 4096)
+	if r := g.RegionOf(a); r == nil || r.Base != a {
+		t.Error("RegionOf(a) wrong")
+	}
+	if r := g.RegionOf(b + 1<<16 - 8); r == nil || r.Base != b {
+		t.Error("RegionOf(end of b) wrong")
+	}
+	if g.RegionOf(b+1<<16) != nil && g.RegionOf(b+1<<16).Base == b {
+		t.Error("RegionOf past end of b returned b")
+	}
+	if g.RegionOf(0) != nil {
+		t.Error("RegionOf(0) should be nil")
+	}
+}

@@ -1,0 +1,51 @@
+package graph
+
+import (
+	"testing"
+
+	"updown/internal/gasmem"
+)
+
+func TestLoadToGAS(t *testing.T) {
+	g := FromEdges(64, DefaultRMAT(6, 9), BuildOptions{Dedup: true, SortNeighbors: true})
+	s := Split(g, 8)
+	gas := gasmem.New(4, 1<<30)
+	d, err := LoadToGAS(gas, s, DefaultPlacement(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := uint32(0); int(v) < s.N; v++ {
+		if got := gas.ReadU64(d.FieldVA(v, VDegree)); got != uint64(s.Degree(v)) {
+			t.Fatalf("vertex %d degree %d, want %d", v, got, s.Degree(v))
+		}
+		if got := gas.ReadU64(d.FieldVA(v, VTotalDeg)); got != uint64(s.TotalDeg[v]) {
+			t.Fatalf("vertex %d totalDeg %d, want %d", v, got, s.TotalDeg[v])
+		}
+		if got := gas.ReadU64(d.FieldVA(v, VParent)); got != uint64(s.Parent[v]) {
+			t.Fatalf("vertex %d parent field %d, want %d", v, got, s.Parent[v])
+		}
+		// Walk the device neighbor list and compare.
+		nva := gas.ReadU64(d.FieldVA(v, VNeighVA))
+		for i, want := range s.Neighbors(v) {
+			if got := gas.ReadU64(nva + uint64(i)*gasmem.WordBytes); got != uint64(want) {
+				t.Fatalf("vertex %d neighbor %d = %d, want %d", v, i, got, want)
+			}
+		}
+	}
+}
+
+func TestPlacementRespectsNRNodes(t *testing.T) {
+	g := FromEdges(256, DefaultRMAT(8, 1), BuildOptions{Dedup: true})
+	s := Split(g, 1024)
+	gas := gasmem.New(8, 1<<30)
+	// Stripe over only the first 2 nodes.
+	d, err := LoadToGAS(gas, s, Placement{FirstNode: 0, NRNodes: 2, BlockBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := uint32(0); int(v) < s.N; v += 17 {
+		if node := gas.NodeOf(d.RecordVA(v)); node > 1 {
+			t.Fatalf("vertex %d on node %d, want <= 1", v, node)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Binary interchange format mirroring the paper's preprocessing outputs:
+// *_gv.bin holds the vertex array (per vertex: degree and neighbor-list
+// offset, as 64-bit little-endian words, preceded by a header), *_nl.bin
+// holds the neighbor list as 64-bit words.
+
+const gvMagic uint64 = 0x5544_4756 // "UDGV"
+const nlMagic uint64 = 0x5544_4e4c // "UDNL"
+
+// WriteGV writes the vertex array.
+func WriteGV(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	hdr := []uint64{gvMagic, uint64(g.N)}
+	if err := binary.Write(bw, binary.LittleEndian, hdr); err != nil {
+		return err
+	}
+	for v := 0; v <= g.N; v++ {
+		if err := binary.Write(bw, binary.LittleEndian, g.Offsets[v]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteNL writes the neighbor list.
+func WriteNL(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if err := binary.Write(bw, binary.LittleEndian, []uint64{nlMagic, g.NumEdges()}); err != nil {
+		return err
+	}
+	buf := make([]uint64, 0, 4096)
+	for _, d := range g.Neigh {
+		buf = append(buf, uint64(d))
+		if len(buf) == cap(buf) {
+			if err := binary.Write(bw, binary.LittleEndian, buf); err != nil {
+				return err
+			}
+			buf = buf[:0]
+		}
+	}
+	if len(buf) > 0 {
+		if err := binary.Write(bw, binary.LittleEndian, buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadGVNL reconstructs a graph from the two binary streams.
+func ReadGVNL(gv, nl io.Reader) (*Graph, error) {
+	br := bufio.NewReader(gv)
+	var hdr [2]uint64
+	if err := binary.Read(br, binary.LittleEndian, &hdr); err != nil {
+		return nil, fmt.Errorf("graph: gv header: %w", err)
+	}
+	if hdr[0] != gvMagic {
+		return nil, fmt.Errorf("graph: bad gv magic %#x", hdr[0])
+	}
+	n := int(hdr[1])
+	g := &Graph{N: n, Offsets: make([]uint64, n+1)}
+	if err := binary.Read(br, binary.LittleEndian, g.Offsets); err != nil {
+		return nil, fmt.Errorf("graph: gv offsets: %w", err)
+	}
+	nr := bufio.NewReader(nl)
+	if err := binary.Read(nr, binary.LittleEndian, &hdr); err != nil {
+		return nil, fmt.Errorf("graph: nl header: %w", err)
+	}
+	if hdr[0] != nlMagic {
+		return nil, fmt.Errorf("graph: bad nl magic %#x", hdr[0])
+	}
+	m := int(hdr[1])
+	if uint64(m) != g.Offsets[n] {
+		return nil, fmt.Errorf("graph: nl edge count %d != gv %d", m, g.Offsets[n])
+	}
+	g.Neigh = make([]uint32, m)
+	buf := make([]uint64, 4096)
+	for read := 0; read < m; {
+		chunk := len(buf)
+		if m-read < chunk {
+			chunk = m - read
+		}
+		if err := binary.Read(nr, binary.LittleEndian, buf[:chunk]); err != nil {
+			return nil, fmt.Errorf("graph: nl data: %w", err)
+		}
+		for i := 0; i < chunk; i++ {
+			g.Neigh[read+i] = uint32(buf[i])
+		}
+		read += chunk
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// ReadEdgeList parses a plain-text edge list ("src dst" per line, # or %
+// comments, optional skip of leading lines — the paper's -l offset flag)
+// and returns the edges plus the vertex count (max ID + 1).
+func ReadEdgeList(r io.Reader, skipLines int) ([]Edge, int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var edges []Edge
+	maxID := -1
+	line := 0
+	for sc.Scan() {
+		line++
+		if line <= skipLines {
+			continue
+		}
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || text[0] == '#' || text[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return nil, 0, fmt.Errorf("graph: line %d: want 'src dst', got %q", line, text)
+		}
+		s, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil {
+			return nil, 0, fmt.Errorf("graph: line %d: %w", line, err)
+		}
+		d, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, 0, fmt.Errorf("graph: line %d: %w", line, err)
+		}
+		edges = append(edges, Edge{uint32(s), uint32(d)})
+		if int(s) > maxID {
+			maxID = int(s)
+		}
+		if int(d) > maxID {
+			maxID = int(d)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, err
+	}
+	return edges, maxID + 1, nil
+}
+
+// WriteEdgeList writes edges as text (for the rmatgen tool).
+func WriteEdgeList(w io.Writer, edges []Edge) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range edges {
+		if _, err := fmt.Fprintf(bw, "%d\t%d\n", e.Src, e.Dst); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,171 @@
+package harness
+
+import (
+	"fmt"
+
+	"updown"
+	"updown/internal/apps/ingest"
+	"updown/internal/apps/match"
+	"updown/internal/arch"
+	"updown/internal/kvmsr"
+	"updown/internal/tform"
+)
+
+// Fig10Options configures the ingestion scaling sweep.
+type Fig10Options struct {
+	// BaseRecords is the "data 1x" record count.
+	BaseRecords int
+	// Multipliers lists the dataset sizes (the paper's data 0.01x..2x).
+	Multipliers []float64
+	// Nodes is the machine sweep.
+	Nodes []int
+	// BlockBytes is the parallel-file block size.
+	BlockBytes int
+	// Seed drives the CSV generator; Shards the host parallelism.
+	Seed   uint64
+	Shards int
+}
+
+// Fig10Ingestion regenerates Figure 10 / Table 11: TFORM+KVMSR ingestion
+// throughput scaling. The metric is mega-records per second of parse plus
+// graph insertion.
+func Fig10Ingestion(opt Fig10Options) ([]*Table, error) {
+	if opt.BaseRecords == 0 {
+		opt.BaseRecords = 10000
+	}
+	if len(opt.Multipliers) == 0 {
+		opt.Multipliers = []float64{0.1, 1, 2}
+	}
+	if len(opt.Nodes) == 0 {
+		opt.Nodes = []int{1, 2, 4, 8}
+	}
+	if opt.BlockBytes == 0 {
+		opt.BlockBytes = 512
+	}
+	if opt.Seed == 0 {
+		opt.Seed = 7
+	}
+	var tables []*Table
+	for _, mult := range opt.Multipliers {
+		n := int(float64(opt.BaseRecords) * mult)
+		if n < 1 {
+			n = 1
+		}
+		data, _ := tform.GenCSV(n, 1<<24, 8, opt.Seed)
+		tb := &Table{
+			Title:      "Figure 10 / Table 11: Ingestion (TFORM + graph insert)",
+			Workload:   fmt.Sprintf("data %gx (%d records, %d bytes)", mult, n, len(data)),
+			MetricName: "MRec/s",
+		}
+		for _, nodes := range opt.Nodes {
+			m, err := updown.New(updown.Config{Nodes: nodes, Shards: opt.Shards, MaxTime: 1 << 44})
+			if err != nil {
+				return nil, err
+			}
+			app, err := ingest.New(m, data, ingest.Config{BlockBytes: opt.BlockBytes})
+			if err != nil {
+				return nil, err
+			}
+			if _, err := app.Run(); err != nil {
+				return nil, fmt.Errorf("fig10 %gx nodes=%d: %w", mult, nodes, err)
+			}
+			if app.Records != uint64(n) {
+				return nil, fmt.Errorf("fig10 %gx nodes=%d: parsed %d records, want %d", mult, nodes, app.Records, n)
+			}
+			sec := m.Seconds(app.Elapsed())
+			tb.Rows = append(tb.Rows, Row{
+				Label:   fmt.Sprintf("%d", nodes),
+				Cycles:  app.Elapsed(),
+				Seconds: sec,
+				Metric:  float64(n) / sec / 1e6,
+			})
+		}
+		tb.FillSpeedups()
+		tb.Notes = append(tb.Notes, "record counts validated at every configuration")
+		tables = append(tables, tb)
+	}
+	return tables, nil
+}
+
+// Fig11Options configures the partial-match latency sweep.
+type Fig11Options struct {
+	// Records is the stream length.
+	Records int
+	// Interarrival is the record gap in cycles (small enough to queue).
+	Interarrival arch.Cycles
+	// LaneCounts sweeps the processing resources; the paper's 1/8, 1/2,
+	// 1 and 4 nodes correspond to 256, 1024, 2048 and 8192 lanes.
+	LaneCounts []int
+	Seed       uint64
+	Shards     int
+}
+
+// Fig11PartialMatch regenerates Figure 11 / Table 12: streaming query
+// latency versus compute resources. The metric is mean
+// arrival-to-decision latency in microseconds; speedup is the latency
+// reduction relative to the smallest configuration.
+func Fig11PartialMatch(opt Fig11Options) (*Table, error) {
+	if opt.Records == 0 {
+		opt.Records = 1500
+	}
+	if opt.Interarrival == 0 {
+		opt.Interarrival = 8
+	}
+	if len(opt.LaneCounts) == 0 {
+		// The paper's 1/8-to-4-node sweep relies on the stream
+		// saturating the small configurations; at reduced record
+		// counts that regime lives below one node.
+		opt.LaneCounts = []int{32, 128, 512, 2048}
+	}
+	if opt.Seed == 0 {
+		opt.Seed = 11
+	}
+	_, records := tform.GenCSV(opt.Records, 4096, 4, opt.Seed)
+	patterns := []match.Pattern{
+		{Types: []uint64{0, 1}},
+		{Types: []uint64{1, 2, 3}},
+		{Types: []uint64{2, 2}},
+	}
+	want := match.Oracle(records, patterns)
+	tb := &Table{
+		Title:      "Figure 11 / Table 12: Partial match latency",
+		Workload:   fmt.Sprintf("%d streamed records, 3 patterns, interarrival %d cycles", opt.Records, opt.Interarrival),
+		MetricName: "lat-us",
+	}
+	var baseLat float64
+	for _, lanes := range opt.LaneCounts {
+		nodes := (lanes + 2047) / 2048
+		m, err := updown.New(updown.Config{Nodes: nodes, Shards: opt.Shards, MaxTime: 1 << 46})
+		if err != nil {
+			return nil, err
+		}
+		app, err := match.New(m, records, patterns, match.Config{
+			Lanes:        kvmsr.LaneSet{First: 0, Count: lanes},
+			Interarrival: opt.Interarrival,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := app.Run(); err != nil {
+			return nil, fmt.Errorf("fig11 lanes=%d: %w", lanes, err)
+		}
+		if app.Processed() != uint64(opt.Records) {
+			return nil, fmt.Errorf("fig11 lanes=%d: processed %d of %d", lanes, app.Processed(), opt.Records)
+		}
+		lat := app.AvgLatency()
+		if baseLat == 0 {
+			baseLat = lat
+		}
+		tb.Rows = append(tb.Rows, Row{
+			Label:   fmt.Sprintf("%d lanes", lanes),
+			Cycles:  arch.Cycles(lat),
+			Seconds: lat / 2e9,
+			Speedup: baseLat / lat,
+			Metric:  lat / 2e9 * 1e6,
+		})
+		_ = want
+	}
+	tb.Notes = append(tb.Notes,
+		fmt.Sprintf("sequential oracle expects %d matches; racing streams may detect fewer (incremental semantics)", want))
+	return tb, nil
+}

@@ -1,0 +1,114 @@
+// Package harness regenerates the paper's evaluation: one runner per
+// figure (9 left/center/right, 10, 11, 12), each sweeping machine
+// configurations, running the corresponding application on the simulator,
+// validating the result against the host baseline, and emitting the
+// speedup/throughput tables of the artifact appendix (Tables 8-12).
+//
+// Runner defaults are reduced-scale — minutes on a laptop instead of the
+// artifact's CPU-weeks (its Table 6 estimates 780 minutes for PR on RMAT
+// s28 alone) — chosen so the work-per-lane ratios at the largest swept
+// configuration are comparable to the paper's, which is what the scaling
+// shapes depend on. Every runner accepts larger scales and node counts.
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"updown/internal/arch"
+)
+
+// Row is one machine configuration's measurement.
+type Row struct {
+	// Label is the x-axis value (node count, memory-node count, lane
+	// count or data multiplier).
+	Label string
+	// Cycles is the simulated duration of the measured region.
+	Cycles arch.Cycles
+	// Seconds is Cycles at the machine clock.
+	Seconds float64
+	// Speedup is relative to the table's first row.
+	Speedup float64
+	// Metric is the throughput/latency value in MetricName units.
+	Metric float64
+}
+
+// Table is one series of one figure.
+type Table struct {
+	// Title names the experiment ("Figure 9 (left): PageRank").
+	Title string
+	// Workload names the graph or dataset.
+	Workload string
+	// MetricName labels the Metric column.
+	MetricName string
+	// Rows are ordered by configuration size.
+	Rows []Row
+	// Notes records validation results and substitutions.
+	Notes []string
+}
+
+// FillSpeedups computes speedups relative to the first row.
+func (t *Table) FillSpeedups() {
+	if len(t.Rows) == 0 || t.Rows[0].Cycles == 0 {
+		return
+	}
+	base := float64(t.Rows[0].Cycles)
+	for i := range t.Rows {
+		if t.Rows[i].Cycles > 0 {
+			t.Rows[i].Speedup = base / float64(t.Rows[i].Cycles)
+		}
+	}
+}
+
+// Format renders the table as aligned text.
+func (t *Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.Title, t.Workload)
+	fmt.Fprintf(&b, "%-12s %14s %12s %10s %16s\n", "config", "cycles", "seconds", "speedup", t.MetricName)
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-12s %14d %12.6f %10.2f %16.4g\n",
+			r.Label, r.Cycles, r.Seconds, r.Speedup, r.Metric)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "  note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Markdown renders the table as a GitHub table (EXPERIMENTS.md).
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "**%s — %s**\n\n", t.Title, t.Workload)
+	fmt.Fprintf(&b, "| config | cycles | seconds | speedup | %s |\n|---|---|---|---|---|\n", t.MetricName)
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "| %s | %d | %.6f | %.2f | %.4g |\n",
+			r.Label, r.Cycles, r.Seconds, r.Speedup, r.Metric)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "\n*note: %s*\n", n)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// ParseNodeList parses "1,2,4,8" sweep flags.
+func ParseNodeList(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		var n int
+		if _, err := fmt.Sscanf(f, "%d", &n); err != nil || n <= 0 {
+			return nil, fmt.Errorf("harness: bad node list entry %q", f)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("harness: empty node list")
+	}
+	sort.Ints(out)
+	return out, nil
+}

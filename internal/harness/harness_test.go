@@ -1,0 +1,146 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// The figure runners at miniature scale: every experiment must complete,
+// validate, and produce plausible tables. These are the end-to-end
+// integration tests of the whole stack.
+
+func TestFig9PageRankSmoke(t *testing.T) {
+	tables, err := Fig9PageRank(Fig9Options{
+		Scale: 9, Nodes: []int{1, 2}, Presets: []string{"rmat"},
+		Validate: true, Shards: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 || len(tables[0].Rows) != 2 {
+		t.Fatalf("unexpected shape: %+v", tables)
+	}
+	if tables[0].Rows[0].Speedup != 1.0 {
+		t.Fatal("first row speedup must be 1")
+	}
+	if tables[0].Rows[0].Metric <= 0 {
+		t.Fatal("metric missing")
+	}
+}
+
+func TestFig9BFSSmoke(t *testing.T) {
+	tables, err := Fig9BFS(Fig9Options{
+		Scale: 9, Nodes: []int{1, 2}, Presets: []string{"soc-livej"},
+		Validate: true, Shards: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables[0].Rows) != 2 {
+		t.Fatal("row count")
+	}
+}
+
+func TestFig9TCSmoke(t *testing.T) {
+	tables, err := Fig9TC(Fig9Options{
+		Scale: 8, Nodes: []int{1, 2}, Presets: []string{"com-orkut"},
+		Validate: true, Shards: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables[0].Rows) != 2 {
+		t.Fatal("row count")
+	}
+}
+
+func TestFig10Smoke(t *testing.T) {
+	tables, err := Fig10Ingestion(Fig10Options{
+		BaseRecords: 300, Multipliers: []float64{1}, Nodes: []int{1, 2},
+		Shards: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 || len(tables[0].Rows) != 2 {
+		t.Fatal("shape")
+	}
+}
+
+func TestFig11Smoke(t *testing.T) {
+	tb, err := Fig11PartialMatch(Fig11Options{
+		Records: 120, LaneCounts: []int{64, 512}, Shards: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatal("shape")
+	}
+	if tb.Rows[1].Metric >= tb.Rows[0].Metric {
+		t.Logf("warning: latency did not improve at this tiny scale: %v vs %v",
+			tb.Rows[1].Metric, tb.Rows[0].Metric)
+	}
+}
+
+func TestFig12Smoke(t *testing.T) {
+	// The placement sweep only shows its effect when the graph traffic is
+	// memory-bound: a larger graph and the reduced-bandwidth operating
+	// point (see Fig12Options.DRAMBytesPerCycle).
+	tables, err := Fig12Placement(Fig12Options{
+		ComputeNodes: 4, MemNodes: []int{1, 4}, Scale: 13,
+		DRAMBytesPerCycle: 100, Shards: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatal("want PR and BFS tables")
+	}
+	// Wider striping must help when memory-bound.
+	pr := tables[0]
+	if pr.Rows[1].Cycles >= pr.Rows[0].Cycles {
+		t.Fatalf("PR with 4 memory nodes (%d cycles) not faster than 1 (%d cycles)",
+			pr.Rows[1].Cycles, pr.Rows[0].Cycles)
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tb := &Table{Title: "T", Workload: "W", MetricName: "M",
+		Rows:  []Row{{Label: "1", Cycles: 100, Seconds: 5e-8, Speedup: 1, Metric: 3.5}},
+		Notes: []string{"hello"}}
+	txt := tb.Format()
+	for _, want := range []string{"T — W", "config", "M", "hello", "3.5"} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("Format missing %q:\n%s", want, txt)
+		}
+	}
+	md := tb.Markdown()
+	if !strings.Contains(md, "| 1 | 100 |") {
+		t.Errorf("Markdown wrong:\n%s", md)
+	}
+}
+
+func TestFillSpeedups(t *testing.T) {
+	tb := &Table{Rows: []Row{{Cycles: 100}, {Cycles: 50}, {Cycles: 25}}}
+	tb.FillSpeedups()
+	if tb.Rows[0].Speedup != 1 || tb.Rows[1].Speedup != 2 || tb.Rows[2].Speedup != 4 {
+		t.Fatalf("speedups %v", tb.Rows)
+	}
+}
+
+func TestParseNodeList(t *testing.T) {
+	got, err := ParseNodeList("4, 1,2")
+	if err != nil || len(got) != 3 || got[0] != 1 || got[2] != 4 {
+		t.Fatalf("%v %v", got, err)
+	}
+	if _, err := ParseNodeList(""); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if _, err := ParseNodeList("a,b"); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ParseNodeList("0"); err == nil {
+		t.Fatal("zero accepted")
+	}
+}

@@ -1,0 +1,281 @@
+package kvmsr
+
+import (
+	"fmt"
+
+	"updown/internal/arch"
+	"updown/internal/prng"
+)
+
+// LaneSet is the contiguous range of lanes a KVMSR invocation targets.
+type LaneSet struct {
+	// First is the first lane; it hosts the invocation master.
+	First arch.NetworkID
+	// Count is the number of lanes.
+	Count int
+}
+
+// AllLanes targets the whole machine.
+func AllLanes(m arch.Machine) LaneSet {
+	return LaneSet{First: 0, Count: m.TotalLanes()}
+}
+
+// End returns one past the last lane.
+func (ls LaneSet) End() arch.NetworkID { return ls.First + arch.NetworkID(ls.Count) }
+
+// Contains reports membership.
+func (ls LaneSet) Contains(id arch.NetworkID) bool { return id >= ls.First && id < ls.End() }
+
+// Index returns the zero-based position of a lane within the set.
+func (ls LaneSet) Index(id arch.NetworkID) int { return int(id - ls.First) }
+
+// Validate checks the set against a machine.
+func (ls LaneSet) Validate(m arch.Machine) error {
+	if ls.Count <= 0 {
+		return fmt.Errorf("kvmsr: LaneSet.Count must be positive, got %d", ls.Count)
+	}
+	if ls.First < 0 || int(ls.End()) > m.TotalLanes() {
+		return fmt.Errorf("kvmsr: LaneSet [%d,%d) outside machine of %d lanes", ls.First, ls.End(), m.TotalLanes())
+	}
+	return nil
+}
+
+// Tree geometry: KVMSR organizes the lane set hierarchically
+// (master -> node masters -> accelerator masters -> lanes) so that
+// broadcast and reduction avoid serializing hundreds of thousands of sends
+// at one lane. All of these are pure functions of (machine, set), so every
+// participant derives its role and its parents/children locally without
+// any metadata traffic.
+
+// firstNode and lastNode bound the nodes the set touches.
+func (ls LaneSet) firstNode(m arch.Machine) int { return m.NodeOf(ls.First) }
+func (ls LaneSet) lastNode(m arch.Machine) int  { return m.NodeOf(ls.End() - 1) }
+
+// NumNodes returns how many nodes the set touches.
+func (ls LaneSet) NumNodes(m arch.Machine) int { return ls.lastNode(m) - ls.firstNode(m) + 1 }
+
+// NodeMaster returns the lane coordinating a node's share of the set.
+func (ls LaneSet) NodeMaster(m arch.Machine, node int) arch.NetworkID {
+	id := m.LaneID(node, 0, 0)
+	if id < ls.First {
+		id = ls.First
+	}
+	return id
+}
+
+// laneRangeOnNode returns the intersection of the set with a node.
+func (ls LaneSet) laneRangeOnNode(m arch.Machine, node int) (lo, hi arch.NetworkID) {
+	lo = arch.NetworkID(node * m.LanesPerNode())
+	hi = lo + arch.NetworkID(m.LanesPerNode())
+	if lo < ls.First {
+		lo = ls.First
+	}
+	if hi > ls.End() {
+		hi = ls.End()
+	}
+	return lo, hi
+}
+
+// AccelRangeOnNode returns the accelerator indices the set covers on a node.
+func (ls LaneSet) AccelRangeOnNode(m arch.Machine, node int) (lo, hi int) {
+	l, h := ls.laneRangeOnNode(m, node)
+	return m.AccelOf(l), m.AccelOf(h-1) + 1
+}
+
+// AccelMaster returns the lane coordinating one accelerator's share.
+func (ls LaneSet) AccelMaster(m arch.Machine, node, accel int) arch.NetworkID {
+	id := m.LaneID(node, accel, 0)
+	if id < ls.First {
+		id = ls.First
+	}
+	return id
+}
+
+// LaneRangeOnAccel returns the set's lanes on one accelerator.
+func (ls LaneSet) LaneRangeOnAccel(m arch.Machine, node, accel int) (lo, hi arch.NetworkID) {
+	lo = m.LaneID(node, accel, 0)
+	hi = lo + arch.NetworkID(m.LanesPerAccel)
+	if lo < ls.First {
+		lo = ls.First
+	}
+	if hi > ls.End() {
+		hi = ls.End()
+	}
+	return lo, hi
+}
+
+// ParentAccelMaster returns the accel master responsible for a lane.
+func (ls LaneSet) ParentAccelMaster(m arch.Machine, id arch.NetworkID) arch.NetworkID {
+	return ls.AccelMaster(m, m.NodeOf(id), m.AccelOf(id))
+}
+
+// ParentNodeMaster returns the node master responsible for a lane.
+func (ls LaneSet) ParentNodeMaster(m arch.Machine, id arch.NetworkID) arch.NetworkID {
+	return ls.NodeMaster(m, m.NodeOf(id))
+}
+
+// MapBinding distributes map keys over the lane set (paper Section 2.3).
+type MapBinding interface {
+	// initialRange returns lane laneIdx's statically assigned keys for a
+	// key space of numKeys over laneCount lanes.
+	initialRange(laneIdx int, laneCount int, numKeys uint64) (start, end uint64)
+	// dynamic reports whether exhausted lanes should ask the master for
+	// more work (the PBMW protocol).
+	dynamic() bool
+	// poolStart returns the first key held back for dynamic distribution
+	// (= numKeys when nothing is pooled).
+	poolStart(laneCount int, numKeys uint64) uint64
+	// chunk is the grant size for dynamic requests.
+	chunk() uint64
+}
+
+// Block assigns every lane an equal, contiguous portion of the keys — the
+// default kv_map binding.
+type Block struct{}
+
+func (Block) initialRange(laneIdx, laneCount int, numKeys uint64) (uint64, uint64) {
+	per := (numKeys + uint64(laneCount) - 1) / uint64(laneCount)
+	start := uint64(laneIdx) * per
+	end := start + per
+	if start > numKeys {
+		start = numKeys
+	}
+	if end > numKeys {
+		end = numKeys
+	}
+	return start, end
+}
+func (Block) dynamic() bool                                  { return false }
+func (Block) poolStart(laneCount int, numKeys uint64) uint64 { return numKeys }
+func (Block) chunk() uint64                                  { return 0 }
+
+// PBMW is partial-block plus master-worker: each lane receives InitialFrac
+// of its equal share up front; the remainder is pooled at the master and
+// handed out in ChunkSize grants as lanes finish, which tolerates skewed
+// per-key work (the triangle-counting variant in Section 4.3.3).
+type PBMW struct {
+	// InitialDenom: lanes statically receive share/InitialDenom keys
+	// (default 2, i.e. half).
+	InitialDenom int
+	// ChunkSize is the dynamic grant size (default 64 keys).
+	ChunkSize uint64
+}
+
+func (b PBMW) denom() int {
+	if b.InitialDenom <= 0 {
+		return 2
+	}
+	return b.InitialDenom
+}
+
+func (b PBMW) chunk() uint64 {
+	if b.ChunkSize == 0 {
+		return 64
+	}
+	return b.ChunkSize
+}
+
+func (b PBMW) perLane(laneCount int, numKeys uint64) uint64 {
+	per := (numKeys + uint64(laneCount) - 1) / uint64(laneCount)
+	per /= uint64(b.denom())
+	if per == 0 && numKeys > 0 {
+		per = 1
+	}
+	return per
+}
+
+func (b PBMW) initialRange(laneIdx, laneCount int, numKeys uint64) (uint64, uint64) {
+	per := b.perLane(laneCount, numKeys)
+	start := uint64(laneIdx) * per
+	end := start + per
+	if start > numKeys {
+		start = numKeys
+	}
+	if end > numKeys {
+		end = numKeys
+	}
+	return start, end
+}
+
+func (b PBMW) dynamic() bool { return true }
+
+func (b PBMW) poolStart(laneCount int, numKeys uint64) uint64 {
+	p := b.perLane(laneCount, numKeys) * uint64(laneCount)
+	if p > numKeys {
+		p = numKeys
+	}
+	return p
+}
+
+// Stride assigns key k to the lane at set index k*Step: with Step equal to
+// the lanes per accelerator, exactly one map task lands on each
+// accelerator's master lane. BFS uses this to map over per-accelerator
+// frontier sections (Section 4.2.2), with each task then organizing its
+// accelerator's 64 lanes as local workers.
+type Stride struct {
+	// Step is the lane-index distance between consecutive keys (>= 1).
+	Step int
+}
+
+func (b Stride) step() int {
+	if b.Step < 1 {
+		return 1
+	}
+	return b.Step
+}
+
+func (b Stride) initialRange(laneIdx, laneCount int, numKeys uint64) (uint64, uint64) {
+	s := b.step()
+	if laneIdx%s != 0 {
+		return 0, 0
+	}
+	k := uint64(laneIdx / s)
+	if k >= numKeys {
+		return 0, 0
+	}
+	return k, k + 1
+}
+func (Stride) dynamic() bool                                  { return false }
+func (Stride) poolStart(laneCount int, numKeys uint64) uint64 { return numKeys }
+func (Stride) chunk() uint64                                  { return 0 }
+
+// ReduceBinding maps an emitted key to the lane that runs its kv_reduce
+// task.
+type ReduceBinding interface {
+	Lane(key uint64, ls LaneSet) arch.NetworkID
+}
+
+// Hash scatters keys uniformly over the lane set — the default kv_reduce
+// binding, which gives good load balance on skewed key distributions.
+type Hash struct{}
+
+// Lane implements ReduceBinding: LaneID = (hash(key) % NRLanes) + 1stLane.
+func (Hash) Lane(key uint64, ls LaneSet) arch.NetworkID {
+	return ls.First + arch.NetworkID(prng.Mix64(key)%uint64(ls.Count))
+}
+
+// BlockReduce routes contiguous key ranges to contiguous lanes; KeySpace is
+// the size of the emitted key domain. BFS uses a variant of this to keep
+// next-frontier writes accelerator-local.
+type BlockReduce struct {
+	KeySpace uint64
+}
+
+// Lane implements ReduceBinding.
+func (b BlockReduce) Lane(key uint64, ls LaneSet) arch.NetworkID {
+	if b.KeySpace == 0 {
+		return ls.First
+	}
+	i := key * uint64(ls.Count) / b.KeySpace
+	if i >= uint64(ls.Count) {
+		i = uint64(ls.Count) - 1
+	}
+	return ls.First + arch.NetworkID(i)
+}
+
+// ReduceFunc adapts a function to ReduceBinding, for application-defined
+// bindings (e.g. triangle counting hashes a combination of vertex names).
+type ReduceFunc func(key uint64, ls LaneSet) arch.NetworkID
+
+// Lane implements ReduceBinding.
+func (f ReduceFunc) Lane(key uint64, ls LaneSet) arch.NetworkID { return f(key, ls) }

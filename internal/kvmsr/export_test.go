@@ -1,0 +1,13 @@
+package kvmsr
+
+// Test-only accessors for the package-internal binding methods.
+
+// InitialRangeForTest exposes MapBinding.initialRange.
+func InitialRangeForTest(b MapBinding, laneIdx, laneCount int, numKeys uint64) (uint64, uint64) {
+	return b.initialRange(laneIdx, laneCount, numKeys)
+}
+
+// PoolStartForTest exposes MapBinding.poolStart.
+func PoolStartForTest(b MapBinding, laneCount int, numKeys uint64) uint64 {
+	return b.poolStart(laneCount, numKeys)
+}

@@ -1,0 +1,56 @@
+// Package prng provides the deterministic pseudo-random primitives used
+// across the repository: a SplitMix64 mixer (hashing, key scattering) and a
+// small xorshift-based stream generator for workload synthesis. Simulation
+// results must be bit-reproducible, so all randomness is derived from
+// explicit seeds through these functions; math/rand is avoided on
+// simulated paths.
+package prng
+
+// Mix64 is the SplitMix64 finalizer: a high-quality 64-bit mixing function
+// used for hash computation (e.g. the KVMSR Hash computation binding).
+func Mix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// Stream is a SplitMix64 sequence generator.
+type Stream struct {
+	state uint64
+}
+
+// NewStream returns a generator seeded deterministically.
+func NewStream(seed uint64) *Stream {
+	return &Stream{state: seed*0x9E3779B97F4A7C15 + 0x2545F4914F6CDD1D}
+}
+
+// Next returns the next 64-bit value.
+func (s *Stream) Next() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Intn returns a value in [0, n). n must be positive.
+func (s *Stream) Intn(n int) int {
+	if n <= 0 {
+		panic("prng: Intn with non-positive n")
+	}
+	return int(s.Next() % uint64(n))
+}
+
+// Uint64n returns a value in [0, n). n must be positive.
+func (s *Stream) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("prng: Uint64n with zero n")
+	}
+	return s.Next() % n
+}
+
+// Float64 returns a value in [0, 1).
+func (s *Stream) Float64() float64 {
+	return float64(s.Next()>>11) / float64(1<<53)
+}

@@ -1,0 +1,93 @@
+package prng
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMix64Avalanche(t *testing.T) {
+	// Flipping one input bit must flip a substantial number of output
+	// bits on average (hash quality for the Hash binding).
+	f := func(x uint64, bit8 uint8) bool {
+		bit := uint(bit8 % 64)
+		a, b := Mix64(x), Mix64(x^(1<<bit))
+		diff := a ^ b
+		n := 0
+		for ; diff != 0; diff &= diff - 1 {
+			n++
+		}
+		return n >= 8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStreamDeterministic(t *testing.T) {
+	a, b := NewStream(7), NewStream(7)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("streams diverged")
+		}
+	}
+	c := NewStream(8)
+	same := 0
+	a = NewStream(7)
+	for i := 0; i < 1000; i++ {
+		if a.Next() == c.Next() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds collided %d times", same)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	s := NewStream(3)
+	counts := make([]int, 10)
+	for i := 0; i < 10000; i++ {
+		v := s.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		counts[v]++
+	}
+	for d, c := range counts {
+		if c < 700 || c > 1300 {
+			t.Fatalf("digit %d count %d far from uniform", d, c)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := NewStream(5)
+	sum := 0.0
+	for i := 0; i < 10000; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / 10000; mean < 0.45 || mean > 0.55 {
+		t.Fatalf("mean %v far from 0.5", mean)
+	}
+}
+
+func TestPanicsOnBadArgs(t *testing.T) {
+	s := NewStream(1)
+	for _, f := range []func(){
+		func() { s.Intn(0) },
+		func() { s.Uint64n(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic on bad argument")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,469 @@
+// Package sim is a deterministic discrete-event simulator for the UpDown
+// machine described by package arch. It plays the role of the paper's
+// Fastsim: instruction-level cost accounting on the lanes combined with
+// streamlined latency/bandwidth models for DRAM and the system network.
+//
+// Actors (lanes, per-node memory controllers, auxiliary stream sources)
+// exchange Messages. Each actor consumes its inbound messages in the
+// deterministic (Deliver, Src, Seq) order. The engine runs either
+// sequentially or with conservative window-parallelism: actors are
+// partitioned by node across shards, and because every cross-node message
+// experiences at least arch.Machine.MinCrossNodeLatency cycles of network
+// latency, windows of that length can be simulated by all shards in
+// parallel without violating causality. Both modes produce bit-identical
+// results.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"updown/internal/arch"
+)
+
+// Actor is a simulated hardware unit addressed by a NetworkID.
+type Actor interface {
+	// OnMessage processes one inbound message. Execution is atomic in
+	// simulated time: it begins at env.Start() and occupies the actor
+	// for the cycles accumulated through env.Charge and the send
+	// intrinsics.
+	OnMessage(env *Env, m *Message)
+}
+
+// ErrTimeout is returned by Run when simulated time exceeds Options.MaxTime,
+// which almost always indicates a livelocked program (for example a
+// termination poll that is never satisfied).
+var ErrTimeout = errors.New("sim: simulated time exceeded MaxTime")
+
+// Options configures an Engine.
+type Options struct {
+	// Shards is the number of host worker goroutines. Zero selects
+	// min(GOMAXPROCS, nodes). One gives a purely sequential simulation.
+	Shards int
+	// LaneFactory builds the actor for a lane on first use. Lanes are
+	// instantiated lazily because large machines (2M lanes) frequently
+	// leave most lanes untouched by small problems.
+	LaneFactory func(id arch.NetworkID) Actor
+	// MaxTime bounds simulated time; zero means 2^62 cycles.
+	MaxTime arch.Cycles
+}
+
+// Stats aggregates measurements across a Run.
+type Stats struct {
+	// FinalTime is the start cycle of the last executed message, i.e.
+	// the simulated completion time of the program.
+	FinalTime arch.Cycles
+	// Events counts executed messages by kind.
+	Events int64
+	// DRAMReads, DRAMWrites and DRAMBytes count memory traffic.
+	DRAMReads  int64
+	DRAMWrites int64
+	DRAMBytes  int64
+	// Sends counts messages injected into the network.
+	Sends int64
+	// BusyCycles is the sum of actor occupancy, used for utilization.
+	BusyCycles int64
+	// LanesTouched is the number of lanes that executed at least one
+	// event.
+	LanesTouched int64
+}
+
+// Utilization returns BusyCycles / (FinalTime * lanes touched), a rough
+// measure of how well the program filled the hardware it used.
+func (s Stats) Utilization() float64 {
+	if s.FinalTime <= 0 || s.LanesTouched == 0 {
+		return 0
+	}
+	return float64(s.BusyCycles) / (float64(s.FinalTime) * float64(s.LanesTouched))
+}
+
+type actorState struct {
+	freeAt arch.Cycles
+	seq    uint64
+	busy   int64
+	used   bool
+	// waitq holds messages that arrived while the actor was busy, in
+	// deterministic pop order. Keeping them out of the shard heap until
+	// the actor frees up bounds heap traffic; naive re-insertion at
+	// freeAt is quadratic when many messages target one actor.
+	//
+	// Invariant: whenever waitq is non-empty, at least one message for
+	// this actor "floats" in the heap as a retry; every execution on the
+	// actor releases one parked message as a new floating retry, so the
+	// queue always drains.
+	waitq     []Message
+	waitqHead int
+	floating  int
+}
+
+func (st *actorState) waitqLen() int { return len(st.waitq) - st.waitqHead }
+
+func (st *actorState) waitqPush(m Message) { st.waitq = append(st.waitq, m) }
+
+func (st *actorState) waitqPop() Message {
+	m := st.waitq[st.waitqHead]
+	st.waitqHead++
+	if st.waitqHead == len(st.waitq) {
+		st.waitq = st.waitq[:0]
+		st.waitqHead = 0
+	} else if st.waitqHead > 1024 && st.waitqHead*2 > len(st.waitq) {
+		n := copy(st.waitq, st.waitq[st.waitqHead:])
+		st.waitq = st.waitq[:n]
+		st.waitqHead = 0
+	}
+	return m
+}
+
+// Engine simulates one machine.
+type Engine struct {
+	M arch.Machine
+
+	actors []Actor
+	state  []actorState
+	// injBusy64 is per-node network injection port occupancy in 1/64
+	// cycle units (64-byte messages at 2000 B/cycle occupy a fraction of
+	// a cycle each, so sub-cycle resolution is required).
+	injBusy64 []int64
+
+	shards    []*shard
+	nshards   int
+	lookahead arch.Cycles
+	maxTime   arch.Cycles
+	factory   func(id arch.NetworkID) Actor
+
+	hostID  arch.NetworkID
+	hostSeq uint64
+	ran     bool
+}
+
+type shard struct {
+	e      *Engine
+	idx    int
+	heap   msgHeap
+	outbox [][]Message // indexed by destination shard
+	stats  Stats
+}
+
+// NewEngine builds an engine for machine m.
+func NewEngine(m arch.Machine, opts Options) (*Engine, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	n := opts.Shards
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > m.Nodes {
+		n = m.Nodes
+	}
+	if n < 1 {
+		n = 1
+	}
+	maxTime := opts.MaxTime
+	if maxTime <= 0 {
+		maxTime = 1 << 62
+	}
+	e := &Engine{
+		M:         m,
+		actors:    make([]Actor, m.TotalActors()),
+		state:     make([]actorState, m.TotalActors()),
+		injBusy64: make([]int64, m.Nodes),
+		nshards:   n,
+		lookahead: m.MinCrossNodeLatency(),
+		maxTime:   maxTime,
+		factory:   opts.LaneFactory,
+	}
+	e.shards = make([]*shard, n)
+	for i := range e.shards {
+		e.shards[i] = &shard{e: e, idx: i, outbox: make([][]Message, n)}
+	}
+	// The host "TOP core" is an auxiliary actor used as the source of
+	// initial messages; it never receives any.
+	e.hostID = arch.NetworkID(len(e.actors))
+	e.actors = append(e.actors, nil)
+	e.state = append(e.state, actorState{})
+	return e, nil
+}
+
+// HostID returns the NetworkID used as the source of host-posted messages.
+func (e *Engine) HostID() arch.NetworkID { return e.hostID }
+
+// SetActor installs the actor for a NetworkID (memory controllers, or
+// eagerly-created lanes).
+func (e *Engine) SetActor(id arch.NetworkID, a Actor) {
+	e.actors[id] = a
+}
+
+// AddActor registers an auxiliary actor (stream source, host-side sink) and
+// returns its NetworkID. Auxiliary actors live on node 0.
+func (e *Engine) AddActor(a Actor) arch.NetworkID {
+	id := arch.NetworkID(len(e.actors))
+	e.actors = append(e.actors, a)
+	e.state = append(e.state, actorState{})
+	return id
+}
+
+// Actor returns the installed actor for id, instantiating lanes on demand.
+func (e *Engine) Actor(id arch.NetworkID) Actor {
+	a := e.actors[id]
+	if a == nil && e.M.IsLane(id) && e.factory != nil {
+		a = e.factory(id)
+		e.actors[id] = a
+	}
+	return a
+}
+
+// shardOf maps an actor to the shard that owns it. Actors are partitioned
+// by node in contiguous ranges so that same-node interactions stay local.
+func (e *Engine) shardOf(id arch.NetworkID) int {
+	node := e.M.NodeOf(id)
+	return node * e.nshards / e.M.Nodes
+}
+
+// Post enqueues a message from the host before (or between) runs. Delivery
+// is at time t; use 0 for program start.
+func (e *Engine) Post(t arch.Cycles, dst arch.NetworkID, kind uint8, event, cont uint64, ops ...uint64) {
+	if len(ops) > MaxOperands {
+		panic(fmt.Sprintf("sim: Post with %d operands (max %d)", len(ops), MaxOperands))
+	}
+	m := Message{Deliver: t, Src: e.hostID, Seq: e.hostSeq, Dst: dst, Kind: kind, Event: event, Cont: cont, NOps: uint8(len(ops))}
+	e.hostSeq++
+	copy(m.Ops[:], ops)
+	e.shards[e.shardOf(dst)].heap.push(m)
+}
+
+// Run simulates until no messages remain, returning aggregate statistics.
+// It may be called repeatedly: later calls continue from the accumulated
+// actor clocks, so a host driver can post work in phases.
+func (e *Engine) Run() (Stats, error) {
+	e.ran = true
+	var timedOut bool
+	for {
+		t := e.minPending()
+		if t == math.MaxInt64 {
+			break
+		}
+		if t > e.maxTime {
+			timedOut = true
+			break
+		}
+		horizon := e.maxTime + 1
+		if e.nshards > 1 {
+			horizon = t + e.lookahead
+		}
+		e.parallel(func(s *shard) { s.processWindow(horizon) })
+		if e.nshards > 1 {
+			e.parallel(func(s *shard) { s.collect() })
+		}
+	}
+	var total Stats
+	for _, s := range e.shards {
+		total.Events += s.stats.Events
+		total.DRAMReads += s.stats.DRAMReads
+		total.DRAMWrites += s.stats.DRAMWrites
+		total.DRAMBytes += s.stats.DRAMBytes
+		total.Sends += s.stats.Sends
+		total.BusyCycles += s.stats.BusyCycles
+		if s.stats.FinalTime > total.FinalTime {
+			total.FinalTime = s.stats.FinalTime
+		}
+	}
+	for i := range e.state {
+		if e.state[i].used && e.M.IsLane(arch.NetworkID(i)) {
+			total.LanesTouched++
+		}
+	}
+	if timedOut {
+		return total, fmt.Errorf("%w (MaxTime=%d)", ErrTimeout, e.maxTime)
+	}
+	return total, nil
+}
+
+func (e *Engine) minPending() arch.Cycles {
+	min := arch.Cycles(math.MaxInt64)
+	for _, s := range e.shards {
+		if s.heap.len() > 0 && s.heap.top().Deliver < min {
+			min = s.heap.top().Deliver
+		}
+	}
+	return min
+}
+
+func (e *Engine) parallel(f func(*shard)) {
+	if e.nshards == 1 {
+		f(e.shards[0])
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(e.nshards)
+	for _, s := range e.shards {
+		go func(s *shard) {
+			defer wg.Done()
+			f(s)
+		}(s)
+	}
+	wg.Wait()
+}
+
+// processWindow executes all messages with effective start time below the
+// horizon, in deterministic order.
+func (s *shard) processWindow(horizon arch.Cycles) {
+	e := s.e
+	env := Env{e: e, shard: s}
+	for s.heap.len() > 0 && s.heap.top().Deliver < horizon {
+		m := s.heap.pop()
+		st := &e.state[m.Dst]
+		if m.retry {
+			st.floating--
+			m.retry = false
+		}
+		if st.freeAt > m.Deliver {
+			if st.floating > 0 {
+				// A retry for this actor is already in flight;
+				// its execution will release us later. Heap
+				// pops are in key order, so the queue stays
+				// deterministic.
+				st.waitqPush(m)
+			} else {
+				// Become the floating retry.
+				m.Deliver = st.freeAt
+				m.retry = true
+				st.floating++
+				s.heap.push(m)
+			}
+			continue
+		}
+		a := e.Actor(m.Dst)
+		if a == nil {
+			panic(fmt.Sprintf("sim: message %d->%d kind %d for unregistered actor", m.Src, m.Dst, m.Kind))
+		}
+		env.self = m.Dst
+		env.start = m.Deliver
+		env.charged = 0
+		a.OnMessage(&env, &m)
+		st.freeAt = m.Deliver + env.charged
+		st.busy += int64(env.charged)
+		st.used = true
+		s.stats.Events++
+		s.stats.BusyCycles += int64(env.charged)
+		if m.Deliver > s.stats.FinalTime {
+			s.stats.FinalTime = m.Deliver
+		}
+		switch m.Kind {
+		case arch.KindDRAMRead:
+			s.stats.DRAMReads++
+		case arch.KindDRAMWrite, arch.KindDRAMFetchAdd:
+			s.stats.DRAMWrites++
+		}
+		if st.waitqLen() > 0 {
+			// Release the next parked message at the actor's new
+			// free time.
+			next := st.waitqPop()
+			if next.Deliver < st.freeAt {
+				next.Deliver = st.freeAt
+			}
+			next.retry = true
+			st.floating++
+			s.heap.push(next)
+		}
+	}
+}
+
+// collect merges cross-shard messages produced during the last window.
+func (s *shard) collect() {
+	for _, other := range s.e.shards {
+		box := other.outbox[s.idx]
+		for i := range box {
+			s.heap.push(box[i])
+		}
+		other.outbox[s.idx] = box[:0]
+	}
+}
+
+// Env is the execution environment passed to Actor.OnMessage. It accounts
+// simulated cycles and routes outbound messages.
+type Env struct {
+	e       *Engine
+	shard   *shard
+	self    arch.NetworkID
+	start   arch.Cycles
+	charged arch.Cycles
+}
+
+// Machine returns the architecture description.
+func (v *Env) Machine() *arch.Machine { return &v.e.M }
+
+// Self returns the executing actor's NetworkID.
+func (v *Env) Self() arch.NetworkID { return v.self }
+
+// Start returns the cycle at which this message began executing.
+func (v *Env) Start() arch.Cycles { return v.start }
+
+// Now returns the current simulated cycle (start plus charged cycles).
+func (v *Env) Now() arch.Cycles { return v.start + v.charged }
+
+// Charge accounts c cycles of computation on the executing actor.
+func (v *Env) Charge(c arch.Cycles) {
+	if c > 0 {
+		v.charged += c
+	}
+}
+
+// Send transmits a message. The send instruction itself costs
+// CostSendMessage cycles on the sender; cross-node messages additionally
+// serialize through the node's injection port and experience the
+// topological latency from arch.Machine.Latency.
+func (v *Env) Send(dst arch.NetworkID, kind uint8, event, cont uint64, ops ...uint64) {
+	v.Charge(v.e.M.CostSendMessage)
+	v.sendAt(v.Now(), 0, dst, kind, event, cont, ops)
+}
+
+// SendAfter is Send with an additional service delay before the message
+// enters the network; memory controllers use it to model access latency
+// without occupying the controller.
+func (v *Env) SendAfter(extra arch.Cycles, dst arch.NetworkID, kind uint8, event, cont uint64, ops ...uint64) {
+	v.sendAt(v.Now(), extra, dst, kind, event, cont, ops)
+}
+
+func (v *Env) sendAt(t, extra arch.Cycles, dst arch.NetworkID, kind uint8, event, cont uint64, ops []uint64) {
+	if len(ops) > MaxOperands {
+		panic(fmt.Sprintf("sim: send with %d operands (max %d)", len(ops), MaxOperands))
+	}
+	e := v.e
+	srcNode := e.M.NodeOf(v.self)
+	dstNode := e.M.NodeOf(dst)
+	entry := t + extra
+	if srcNode != dstNode {
+		// Serialize through the node's injection port (4 TB/s).
+		xfer := int64(64*e.M.MsgBytes) / int64(e.M.InjectBytesPerCycle)
+		if xfer < 1 {
+			xfer = 1
+		}
+		busy := &e.injBusy64[srcNode]
+		t64 := int64(entry) * 64
+		if *busy < t64 {
+			*busy = t64
+		}
+		*busy += xfer
+		entry = arch.Cycles((*busy + 63) / 64)
+	}
+	deliver := entry + e.M.Latency(v.self, dst)
+	st := &e.state[v.self]
+	m := Message{Deliver: deliver, Src: v.self, Seq: st.seq, Dst: dst, Kind: kind, Event: event, Cont: cont, NOps: uint8(len(ops))}
+	st.seq++
+	copy(m.Ops[:], ops)
+	v.shard.stats.Sends++
+	dstShard := e.shardOf(dst)
+	if dstShard == v.shard.idx {
+		v.shard.heap.push(m)
+	} else {
+		v.shard.outbox[dstShard] = append(v.shard.outbox[dstShard], m)
+	}
+}
+
+// AddDRAMBytes accounts memory traffic in the run statistics; it is called
+// by the memory controller model.
+func (v *Env) AddDRAMBytes(n int64) { v.shard.stats.DRAMBytes += n }

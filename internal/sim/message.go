@@ -1,0 +1,132 @@
+package sim
+
+import "updown/internal/arch"
+
+// MaxOperands is the operand capacity of one message. The UpDown network
+// moves fixed 64-byte messages, which carry up to eight 64-bit operands
+// (paper Section 3).
+const MaxOperands = 8
+
+// Message is one network message: an event destined for a lane, a DRAM
+// request destined for a memory controller, or a control message for an
+// auxiliary actor.
+//
+// Messages are totally ordered by (Deliver, Src, Seq); actors process
+// their inbound messages in that order, which makes every simulation run
+// bit-identical for a given program, independent of host parallelism.
+type Message struct {
+	// Deliver is the cycle at which the message becomes available at the
+	// destination. The engine may postpone execution further if the
+	// destination actor is busy.
+	Deliver arch.Cycles
+	// Src is the sending actor and Seq its per-sender sequence number;
+	// together with Deliver they form the deterministic ordering key.
+	Src arch.NetworkID
+	Seq uint64
+	// Dst is the destination actor.
+	Dst arch.NetworkID
+	// Kind selects the protocol (arch.KindEvent, arch.KindDRAMRead, ...).
+	Kind uint8
+	// NOps is the number of valid operands in Ops.
+	NOps uint8
+	// Event is the event word: for KindEvent it selects the handler and
+	// thread at the destination; for DRAM requests it is unused.
+	Event uint64
+	// Cont is the continuation word travelling with the message
+	// (udweave.IGNRCONT when absent).
+	Cont uint64
+	// Ops are the operand words.
+	Ops [MaxOperands]uint64
+	// retry marks a message re-scheduled after finding its destination
+	// busy (engine-internal; see the wait-queue invariant in engine.go).
+	retry bool
+}
+
+// before reports whether m precedes o in the deterministic total order.
+func (m *Message) before(o *Message) bool {
+	if m.Deliver != o.Deliver {
+		return m.Deliver < o.Deliver
+	}
+	if m.Src != o.Src {
+		return m.Src < o.Src
+	}
+	return m.Seq < o.Seq
+}
+
+// msgHeap is a binary min-heap ordered by (Deliver, Src, Seq). Messages
+// live in an arena and the heap permutes 32-bit indices, so sift
+// operations move 4 bytes instead of the 120-byte Message — the hottest
+// loop in the simulator.
+type msgHeap struct {
+	arena []Message
+	free  []int32
+	idx   []int32
+}
+
+func (h *msgHeap) len() int { return len(h.idx) }
+
+func (h *msgHeap) alloc(m Message) int32 {
+	if n := len(h.free); n > 0 {
+		i := h.free[n-1]
+		h.free = h.free[:n-1]
+		h.arena[i] = m
+		return i
+	}
+	h.arena = append(h.arena, m)
+	return int32(len(h.arena) - 1)
+}
+
+func (h *msgHeap) push(m Message) {
+	i := h.alloc(m)
+	h.idx = append(h.idx, i)
+	h.siftUp(len(h.idx) - 1)
+}
+
+func (h *msgHeap) siftUp(i int) {
+	a, idx := h.arena, h.idx
+	for i > 0 {
+		p := (i - 1) / 2
+		if !a[idx[i]].before(&a[idx[p]]) {
+			break
+		}
+		idx[i], idx[p] = idx[p], idx[i]
+		i = p
+	}
+}
+
+// top returns the minimum message without removing it. It must not be
+// called on an empty heap. The pointer is invalidated by push/pop.
+func (h *msgHeap) top() *Message { return &h.arena[h.idx[0]] }
+
+func (h *msgHeap) pop() Message {
+	i := h.idx[0]
+	m := h.arena[i]
+	h.free = append(h.free, i)
+	last := len(h.idx) - 1
+	h.idx[0] = h.idx[last]
+	h.idx = h.idx[:last]
+	if last > 0 {
+		h.siftDown(0)
+	}
+	return m
+}
+
+func (h *msgHeap) siftDown(i int) {
+	a, idx := h.arena, h.idx
+	n := len(idx)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && a[idx[l]].before(&a[idx[small]]) {
+			small = l
+		}
+		if r < n && a[idx[r]].before(&a[idx[small]]) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		idx[i], idx[small] = idx[small], idx[i]
+		i = small
+	}
+}

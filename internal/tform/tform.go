@@ -1,0 +1,203 @@
+// Package tform implements the paper's TFORM tool: transducer-driven
+// parsing of record streams (Nourian et al.'s deterministic finite-state
+// transducer model, cited in Section 5.2.4). A table-driven FST walks the
+// byte stream, accumulating field values and emitting one fixed 64-byte
+// binary record (eight 64-bit words) per input line.
+//
+// The transducer is incremental: parser state survives across Feed calls,
+// so records spanning parallel-file block boundaries parse correctly —
+// the property the paper calls out as impossible in cloud map-reduce.
+package tform
+
+import (
+	"fmt"
+
+	"updown/internal/prng"
+)
+
+// RecordWords is the fixed binary record size (64 bytes).
+const RecordWords = 8
+
+// Record field indices. The schema models the AGILE workflow records: a
+// typed edge between two entities with a timestamp and a weight.
+const (
+	FType = iota
+	FSrc
+	FDst
+	FTime
+	FWeight
+	// FHash caches a mixed key for downstream hash structures; the two
+	// final words pad the record to 64 bytes.
+	FHash
+)
+
+// Record is one parsed 64-byte record.
+type Record [RecordWords]uint64
+
+// byte classes
+const (
+	clDigit = iota
+	clComma
+	clNewline
+	clOther
+	numClasses
+)
+
+// transducer states
+const (
+	stField = iota // accumulating a field
+	numStates
+)
+
+// action codes attached to transitions
+const (
+	actNone = iota
+	actAccum
+	actEndField
+	actEndRecord
+)
+
+type trans struct {
+	next   uint8
+	action uint8
+}
+
+// FST is a compiled byte-classified finite-state transducer. The CSV
+// instance below has a single state; the representation supports more
+// (quoted fields, escapes) and is exercised by tests with a multi-state
+// machine.
+type FST struct {
+	classes [256]uint8
+	delta   [numStates][numClasses]trans
+}
+
+// csvFST is the compiled CSV transducer.
+var csvFST = buildCSV()
+
+func buildCSV() *FST {
+	f := &FST{}
+	for b := 0; b < 256; b++ {
+		switch {
+		case b >= '0' && b <= '9':
+			f.classes[b] = clDigit
+		case b == ',':
+			f.classes[b] = clComma
+		case b == '\n':
+			f.classes[b] = clNewline
+		default:
+			f.classes[b] = clOther
+		}
+	}
+	f.delta[stField][clDigit] = trans{stField, actAccum}
+	f.delta[stField][clComma] = trans{stField, actEndField}
+	f.delta[stField][clNewline] = trans{stField, actEndRecord}
+	f.delta[stField][clOther] = trans{stField, actNone}
+	return f
+}
+
+// Parser incrementally transduces CSV bytes into Records.
+type Parser struct {
+	state uint8
+	field int
+	acc   uint64
+	rec   Record
+	// Bytes counts total input consumed (cost accounting).
+	Bytes int64
+}
+
+// Feed consumes a byte block, invoking emit for each completed record.
+// State carries over to the next Feed, so blocks may split records
+// anywhere.
+func (p *Parser) Feed(block []byte, emit func(Record)) {
+	f := csvFST
+	for _, b := range block {
+		t := f.delta[p.state][f.classes[b]]
+		switch t.action {
+		case actAccum:
+			p.acc = p.acc*10 + uint64(b-'0')
+		case actEndField:
+			p.endField()
+		case actEndRecord:
+			p.endField()
+			p.finish(emit)
+		}
+		p.state = t.next
+	}
+	p.Bytes += int64(len(block))
+}
+
+func (p *Parser) endField() {
+	if p.field < RecordWords {
+		p.rec[p.field] = p.acc
+	}
+	p.field++
+	p.acc = 0
+}
+
+func (p *Parser) finish(emit func(Record)) {
+	if p.field > 1 || p.rec[0] != 0 {
+		r := p.rec
+		r[FHash] = prng.Mix64(r[FSrc])<<1 ^ prng.Mix64(r[FDst])
+		emit(r)
+	}
+	p.field = 0
+	p.acc = 0
+	p.rec = Record{}
+}
+
+// Flush completes a final unterminated record (input without a trailing
+// newline).
+func (p *Parser) Flush(emit func(Record)) {
+	if p.field > 0 || p.acc > 0 {
+		p.endField()
+		p.finish(emit)
+	}
+}
+
+// SkipToRecordStart returns the offset just past the first newline in
+// block, or len(block) when none: parallel parsing starts each non-first
+// block at the first record boundary.
+func SkipToRecordStart(block []byte) int {
+	for i, b := range block {
+		if b == '\n' {
+			return i + 1
+		}
+	}
+	return len(block)
+}
+
+// ParseAll is the convenience single-shot parser.
+func ParseAll(data []byte) []Record {
+	var out []Record
+	var p Parser
+	p.Feed(data, func(r Record) { out = append(out, r) })
+	p.Flush(func(r Record) { out = append(out, r) })
+	return out
+}
+
+// GenCSV synthesizes a deterministic CSV workload of n typed-edge records
+// over a vertex ID space, returning the text and the expected records.
+// It stands in for the paper's AGILE workflow datasets ("data <m>"
+// multipliers): record structure, not content, is what the ingestion
+// pipeline measures.
+func GenCSV(n int, vertexSpace uint64, numTypes int, seed uint64) ([]byte, []Record) {
+	if vertexSpace == 0 || vertexSpace > 1<<32 {
+		panic(fmt.Sprintf("tform: vertex space %d outside (0, 2^32]", vertexSpace))
+	}
+	rng := prng.NewStream(seed)
+	buf := make([]byte, 0, n*32)
+	recs := make([]Record, 0, n)
+	for i := 0; i < n; i++ {
+		var r Record
+		r[FType] = uint64(rng.Intn(numTypes))
+		r[FSrc] = rng.Uint64n(vertexSpace)
+		r[FDst] = rng.Uint64n(vertexSpace)
+		r[FTime] = uint64(1700000000 + i)
+		r[FWeight] = rng.Uint64n(1000)
+		r[FHash] = prng.Mix64(r[FSrc])<<1 ^ prng.Mix64(r[FDst])
+		buf = append(buf, []byte(fmt.Sprintf("%d,%d,%d,%d,%d\n",
+			r[FType], r[FSrc], r[FDst], r[FTime], r[FWeight]))...)
+		recs = append(recs, r)
+	}
+	return buf, recs
+}

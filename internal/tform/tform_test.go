@@ -1,0 +1,121 @@
+package tform
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseAllSimple(t *testing.T) {
+	recs := ParseAll([]byte("1,10,20,30,40\n2,11,21,31,41\n"))
+	if len(recs) != 2 {
+		t.Fatalf("%d records", len(recs))
+	}
+	want := [5]uint64{1, 10, 20, 30, 40}
+	for i := 0; i < 5; i++ {
+		if recs[0][i] != want[i] {
+			t.Fatalf("record 0 = %v", recs[0])
+		}
+	}
+	if recs[1][FSrc] != 11 || recs[1][FDst] != 21 {
+		t.Fatalf("record 1 = %v", recs[1])
+	}
+}
+
+func TestParseWithoutTrailingNewline(t *testing.T) {
+	recs := ParseAll([]byte("5,1,2,3,4"))
+	if len(recs) != 1 || recs[0][FType] != 5 || recs[0][FWeight] != 4 {
+		t.Fatalf("records = %v", recs)
+	}
+}
+
+func TestParseIgnoresStrayCharacters(t *testing.T) {
+	recs := ParseAll([]byte("1 ,2x,3,4,5\n"))
+	if len(recs) != 1 || recs[0][FType] != 1 || recs[0][FSrc] != 2 {
+		t.Fatalf("records = %v", recs)
+	}
+}
+
+// Records spanning arbitrary block boundaries must parse identically to a
+// single-shot parse: the property that enables parallel-file ingestion.
+func TestBlockBoundarySpanning(t *testing.T) {
+	data, want := GenCSV(200, 1000, 4, 9)
+	f := func(cut16 uint16) bool {
+		cut := int(cut16) % (len(data) - 1)
+		if cut == 0 {
+			cut = 1
+		}
+		var got []Record
+		var p Parser
+		emit := func(r Record) { got = append(got, r) }
+		p.Feed(data[:cut], emit)
+		p.Feed(data[cut:], emit)
+		p.Flush(emit)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFeedBytewise(t *testing.T) {
+	data, want := GenCSV(50, 100, 2, 3)
+	var got []Record
+	var p Parser
+	for i := range data {
+		p.Feed(data[i:i+1], func(r Record) { got = append(got, r) })
+	}
+	p.Flush(func(r Record) { got = append(got, r) })
+	if len(got) != len(want) {
+		t.Fatalf("%d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSkipToRecordStart(t *testing.T) {
+	if SkipToRecordStart([]byte("abc\ndef")) != 4 {
+		t.Fatal("wrong skip")
+	}
+	if SkipToRecordStart([]byte("abcdef")) != 6 {
+		t.Fatal("no-newline skip")
+	}
+	if SkipToRecordStart([]byte("\nx")) != 1 {
+		t.Fatal("leading newline skip")
+	}
+}
+
+func TestGenCSVDeterministicAndParses(t *testing.T) {
+	d1, r1 := GenCSV(100, 1<<20, 8, 77)
+	d2, r2 := GenCSV(100, 1<<20, 8, 77)
+	if string(d1) != string(d2) {
+		t.Fatal("GenCSV not deterministic")
+	}
+	parsed := ParseAll(d1)
+	if len(parsed) != len(r1) {
+		t.Fatalf("parsed %d, want %d", len(parsed), len(r1))
+	}
+	for i := range r1 {
+		if parsed[i] != r1[i] || r1[i] != r2[i] {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+}
+
+func TestParserBytesAccounting(t *testing.T) {
+	var p Parser
+	p.Feed([]byte("1,2,3,4,5\n"), func(Record) {})
+	if p.Bytes != 10 {
+		t.Fatalf("Bytes = %d", p.Bytes)
+	}
+}

@@ -1,0 +1,97 @@
+package udweave
+
+import "fmt"
+
+// spMalloc (paper Table 5: "spMalloc (scratchpad malloc)") — a per-lane
+// allocator for the 64 KiB lane-private scratchpad. Allocations return a
+// byte offset within the lane's scratchpad; the allocator enforces the
+// capacity budget so programs that over-commit scratch state fail loudly
+// instead of silently modeling impossible hardware.
+//
+// The simulator keeps lane-local Go values (thread state, library caches)
+// rather than raw scratch bytes; spMalloc is the accounting layer those
+// structures reserve their space through.
+
+// spState is the per-lane allocator: a first-fit free list over the
+// scratchpad byte range.
+type spState struct {
+	free []spRange // sorted by offset, coalesced
+}
+
+type spRange struct {
+	off, size int
+}
+
+// spSlot indexes the allocator in lane-local storage (shared global slot,
+// reserved lazily per program).
+const spLocalKey = "udweave.spmalloc"
+
+func (c *Ctx) sp() *spState {
+	cap := c.lane.p.M.ScratchBytesPerLane
+	return c.LaneLocal(spLocalKey, func() any {
+		return &spState{free: []spRange{{0, cap}}}
+	}).(*spState)
+}
+
+// SpMalloc reserves size bytes of this lane's scratchpad and returns the
+// byte offset. It panics when the scratchpad is exhausted — the simulated
+// analogue of overflowing a fixed 64 KiB memory.
+func (c *Ctx) SpMalloc(size int) int {
+	if size <= 0 {
+		panic(fmt.Sprintf("udweave: SpMalloc(%d)", size))
+	}
+	// Word-align like the hardware's scratchpad ports.
+	size = (size + 7) &^ 7
+	st := c.sp()
+	c.ScratchAccess(1)
+	c.Cycles(6)
+	for i := range st.free {
+		r := &st.free[i]
+		if r.size >= size {
+			off := r.off
+			r.off += size
+			r.size -= size
+			if r.size == 0 {
+				st.free = append(st.free[:i], st.free[i+1:]...)
+			}
+			return off
+		}
+	}
+	panic(fmt.Sprintf("udweave: lane %d scratchpad exhausted (%d bytes requested, %d byte capacity)",
+		c.lane.id, size, c.lane.p.M.ScratchBytesPerLane))
+}
+
+// SpFree returns a region to the lane's scratchpad pool.
+func (c *Ctx) SpFree(off, size int) {
+	size = (size + 7) &^ 7
+	st := c.sp()
+	c.ScratchAccess(1)
+	c.Cycles(6)
+	// Insert sorted and coalesce with neighbors.
+	i := 0
+	for i < len(st.free) && st.free[i].off < off {
+		i++
+	}
+	st.free = append(st.free, spRange{})
+	copy(st.free[i+1:], st.free[i:])
+	st.free[i] = spRange{off, size}
+	// Coalesce right then left.
+	if i+1 < len(st.free) && st.free[i].off+st.free[i].size == st.free[i+1].off {
+		st.free[i].size += st.free[i+1].size
+		st.free = append(st.free[:i+1], st.free[i+2:]...)
+	}
+	if i > 0 && st.free[i-1].off+st.free[i-1].size == st.free[i].off {
+		st.free[i-1].size += st.free[i].size
+		st.free = append(st.free[:i], st.free[i+1:]...)
+	}
+}
+
+// SpAvailable reports the lane's remaining scratchpad bytes.
+func (c *Ctx) SpAvailable() int {
+	st := c.sp()
+	total := 0
+	for _, r := range st.free {
+		total += r.size
+	}
+	return total
+}

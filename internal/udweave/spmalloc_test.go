@@ -1,0 +1,90 @@
+package udweave_test
+
+import (
+	"testing"
+
+	"updown/internal/udweave"
+)
+
+// runOnLane executes a body once on lane 0 of a one-node rig.
+func runOnLane(t *testing.T, body func(c *udweave.Ctx)) {
+	t.Helper()
+	r := newRig(t, 1)
+	ev := r.prog.Define("body", func(c *udweave.Ctx) {
+		body(c)
+		c.YieldTerminate()
+	})
+	r.start(udweave.EvwNew(r.m.LaneID(0, 0, 0), ev))
+	r.run(t)
+}
+
+func TestSpMallocBasics(t *testing.T) {
+	runOnLane(t, func(c *udweave.Ctx) {
+		total := c.SpAvailable()
+		if total != 64<<10 {
+			t.Errorf("initial scratchpad %d, want 64KiB", total)
+		}
+		a := c.SpMalloc(100) // rounds to 104
+		b := c.SpMalloc(8)
+		if a == b {
+			t.Error("overlapping allocations")
+		}
+		if got := c.SpAvailable(); got != total-104-8 {
+			t.Errorf("available %d after allocs, want %d", got, total-104-8)
+		}
+		c.SpFree(a, 100)
+		c.SpFree(b, 8)
+		if got := c.SpAvailable(); got != total {
+			t.Errorf("available %d after frees, want %d (leak or bad coalesce)", got, total)
+		}
+	})
+}
+
+func TestSpMallocCoalesceAndReuse(t *testing.T) {
+	runOnLane(t, func(c *udweave.Ctx) {
+		a := c.SpMalloc(1 << 10)
+		b := c.SpMalloc(1 << 10)
+		d := c.SpMalloc(1 << 10)
+		// Free middle then left: they must coalesce so a 2 KiB request
+		// fits in the hole.
+		c.SpFree(b, 1<<10)
+		c.SpFree(a, 1<<10)
+		e := c.SpMalloc(2 << 10)
+		if e != a {
+			t.Errorf("coalesced hole not reused: got %d, want %d", e, a)
+		}
+		c.SpFree(d, 1<<10)
+		c.SpFree(e, 2<<10)
+	})
+}
+
+func TestSpMallocExhaustionPanics(t *testing.T) {
+	r := newRig(t, 1)
+	ev := r.prog.Define("oom", func(c *udweave.Ctx) {
+		for {
+			c.SpMalloc(8 << 10)
+		}
+	})
+	r.start(udweave.EvwNew(r.m.LaneID(0, 0, 0), ev))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scratchpad exhaustion did not panic")
+		}
+	}()
+	r.eng.Run() //nolint:errcheck
+}
+
+func TestSpMallocPerLaneIsolation(t *testing.T) {
+	// Allocations on one lane must not consume another lane's scratchpad.
+	r := newRig(t, 1)
+	ev := r.prog.Define("alloc", func(c *udweave.Ctx) {
+		c.SpMalloc(32 << 10)
+		if got := c.SpAvailable(); got != 32<<10 {
+			t.Errorf("lane %d available %d, want 32KiB", c.NetworkID(), got)
+		}
+		c.YieldTerminate()
+	})
+	r.start(udweave.EvwNew(r.m.LaneID(0, 0, 0), ev))
+	r.start(udweave.EvwNew(r.m.LaneID(0, 0, 1), ev))
+	r.run(t)
+}

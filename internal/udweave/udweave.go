@@ -1,0 +1,352 @@
+// Package udweave hosts the UDWeave programming model on the simulator:
+// software-managed threads whose events are triggered by messages, explicit
+// continuation words for flexible event composition, and intrinsics for
+// event-word manipulation, messaging and split-phase DRAM access (paper
+// Section 2.1).
+//
+// The paper's UDWeave is a C-like language compiled to UpDown lanes; here
+// events are Go functions registered under Labels, and the Ctx passed to a
+// handler provides the intrinsics plus cycle accounting, so the simulated
+// cost model matches the paper's 10-100 instruction fine-grained tasks.
+package udweave
+
+import (
+	"fmt"
+	"math"
+
+	"updown/internal/arch"
+	"updown/internal/gasmem"
+	"updown/internal/sim"
+)
+
+// Handler is the body of one event. Returning normally is a yield (the
+// thread persists, its state preserved); calling Ctx.YieldTerminate first
+// deallocates the thread instead.
+type Handler func(c *Ctx)
+
+// Program is a registry of event handlers shared by all lanes of a machine.
+type Program struct {
+	M        arch.Machine
+	GAS      *gasmem.GAS
+	handlers []Handler
+	names    []string
+	numSlots int
+}
+
+// NewProgram creates an empty program for the given machine.
+func NewProgram(m arch.Machine, gas *gasmem.GAS) *Program {
+	// Label 0 is reserved so that a zero event word is always invalid.
+	return &Program{M: m, GAS: gas, handlers: []Handler{nil}, names: []string{"<invalid>"}}
+}
+
+// Define registers an event handler and returns its Label.
+func (p *Program) Define(name string, h Handler) Label {
+	if len(p.handlers) > maxLabel {
+		panic("udweave: label space exhausted")
+	}
+	p.handlers = append(p.handlers, h)
+	p.names = append(p.names, name)
+	return Label(len(p.handlers) - 1)
+}
+
+// AllocSlot reserves one lane-local storage slot, shared by all lanes.
+// Libraries (KVMSR, combining cache, SHT) allocate a slot per instance at
+// program-construction time; slot access is an array index, unlike the
+// string-keyed LaneLocal map.
+func (p *Program) AllocSlot() int {
+	p.numSlots++
+	return p.numSlots - 1
+}
+
+// Name returns the registered name of a label (diagnostics).
+func (p *Program) Name(l Label) string {
+	if int(l) < len(p.names) {
+		return p.names[l]
+	}
+	return fmt.Sprintf("<label %d>", l)
+}
+
+// NewLane builds the lane actor for a network ID; it is the sim.Engine
+// LaneFactory for this program.
+func (p *Program) NewLane(id arch.NetworkID) sim.Actor {
+	return &Lane{p: p, id: id}
+}
+
+// Thread is one software-managed thread context on a lane. Events of a
+// thread execute atomically, so State needs no synchronization.
+type Thread struct {
+	// TID is the thread context ID within its lane.
+	TID uint16
+	// State is the application-defined thread state ("thread variables"
+	// in UDWeave). The first event of a thread finds it nil and
+	// initializes it.
+	State any
+
+	terminated bool
+}
+
+// Lane is the event-driven compute engine: it dispatches inbound event
+// messages to handlers, managing thread contexts in its scratchpad.
+type Lane struct {
+	p        *Program
+	id       arch.NetworkID
+	threads  []*Thread // indexed by TID; nil entries are dead
+	live     int
+	freeTIDs []uint16
+	pool     []*Thread
+	local    map[string]any
+	slots    []any
+}
+
+// OnMessage implements sim.Actor.
+func (l *Lane) OnMessage(env *sim.Env, m *sim.Message) {
+	if m.Kind != arch.KindEvent {
+		panic(fmt.Sprintf("udweave: lane %d received non-event message kind %d", l.id, m.Kind))
+	}
+	label := EvwLabel(m.Event)
+	if int(label) >= len(l.p.handlers) || l.p.handlers[label] == nil {
+		panic(fmt.Sprintf("udweave: lane %d received undefined event label %d", l.id, label))
+	}
+	tid := EvwTID(m.Event)
+	var th *Thread
+	if tid == NewThreadTID {
+		th = l.allocThread()
+		env.Charge(l.p.M.CostThreadCreate)
+	} else {
+		if int(tid) >= len(l.threads) || l.threads[tid] == nil {
+			panic(fmt.Sprintf("udweave: lane %d event %q for dead thread %d", l.id, l.p.Name(label), tid))
+		}
+		th = l.threads[tid]
+	}
+	env.Charge(l.p.M.CostEventDispatch)
+	c := Ctx{env: env, lane: l, th: th, msg: m, label: label}
+	l.p.handlers[label](&c)
+	if th.terminated {
+		env.Charge(l.p.M.CostThreadDealloc)
+		l.threads[th.TID] = nil
+		l.freeTIDs = append(l.freeTIDs, th.TID)
+		l.live--
+		th.State = nil
+		th.terminated = false
+		l.pool = append(l.pool, th)
+	} else {
+		env.Charge(l.p.M.CostThreadYield)
+	}
+}
+
+func (l *Lane) allocThread() *Thread {
+	var tid uint16
+	if n := len(l.freeTIDs); n > 0 {
+		tid = l.freeTIDs[n-1]
+		l.freeTIDs = l.freeTIDs[:n-1]
+	} else {
+		if len(l.threads) >= int(NewThreadTID) {
+			panic(fmt.Sprintf("udweave: lane %d out of thread contexts", l.id))
+		}
+		tid = uint16(len(l.threads))
+		l.threads = append(l.threads, nil)
+	}
+	var th *Thread
+	if n := len(l.pool); n > 0 {
+		th = l.pool[n-1]
+		l.pool = l.pool[:n-1]
+		th.TID = tid
+	} else {
+		th = &Thread{TID: tid}
+	}
+	l.threads[tid] = th
+	l.live++
+	return th
+}
+
+// LiveThreads returns the number of allocated thread contexts (testing and
+// leak detection: a well-terminated program leaves only daemon threads).
+func (l *Lane) LiveThreads() int { return l.live }
+
+// LocalPeek exposes a lane-local storage entry to host-side inspection
+// (verification and dumps after Engine.Run; nil when absent).
+func (l *Lane) LocalPeek(key string) any {
+	if l.local == nil {
+		return nil
+	}
+	return l.local[key]
+}
+
+// SlotPeek is LocalPeek for slot-indexed storage.
+func (l *Lane) SlotPeek(slot int) any {
+	if slot >= len(l.slots) {
+		return nil
+	}
+	return l.slots[slot]
+}
+
+// Ctx is the execution context of one event.
+type Ctx struct {
+	env   *sim.Env
+	lane  *Lane
+	th    *Thread
+	msg   *sim.Message
+	label Label
+}
+
+// Program returns the program being executed.
+func (c *Ctx) Program() *Program { return c.lane.p }
+
+// NetworkID returns the executing lane (curNetworkID in UDWeave).
+func (c *Ctx) NetworkID() arch.NetworkID { return c.lane.id }
+
+// Now returns the current simulated cycle.
+func (c *Ctx) Now() arch.Cycles { return c.env.Now() }
+
+// Thread returns the executing thread.
+func (c *Ctx) Thread() *Thread { return c.th }
+
+// State returns the thread state; SetState installs it.
+func (c *Ctx) State() any     { return c.th.State }
+func (c *Ctx) SetState(s any) { c.th.State = s }
+
+// NOps returns the operand count of the triggering message.
+func (c *Ctx) NOps() int { return int(c.msg.NOps) }
+
+// Op returns operand i of the triggering message.
+func (c *Ctx) Op(i int) uint64 {
+	if i >= int(c.msg.NOps) {
+		panic(fmt.Sprintf("udweave: event %q read operand %d of %d", c.lane.p.Name(c.label), i, c.msg.NOps))
+	}
+	return c.msg.Ops[i]
+}
+
+// Ops returns all operands of the triggering message.
+func (c *Ctx) Ops() []uint64 { return c.msg.Ops[:c.msg.NOps] }
+
+// Cont returns the continuation word of the triggering message (CCONT).
+func (c *Ctx) Cont() uint64 { return c.msg.Cont }
+
+// EventWord returns the current event word (CEVNT): this lane, this thread,
+// this label. Combined with EvwUpdateEvent it lets an event direct replies
+// back to its own thread.
+func (c *Ctx) EventWord() uint64 { return EvwExisting(c.lane.id, c.th.TID, c.label) }
+
+// ContinueTo is shorthand for EvwUpdateEvent(c.EventWord(), label): a
+// continuation word that re-enters this thread at another event.
+func (c *Ctx) ContinueTo(label Label) uint64 {
+	return EvwExisting(c.lane.id, c.th.TID, label)
+}
+
+// Cycles charges n instruction cycles of computation.
+func (c *Ctx) Cycles(n int) { c.env.Charge(arch.Cycles(n) * c.lane.p.M.CostInstruction) }
+
+// ScratchAccess charges n scratchpad accesses.
+func (c *Ctx) ScratchAccess(n int) { c.env.Charge(arch.Cycles(n) * c.lane.p.M.CostScratchAccess) }
+
+// YieldTerminate marks the thread for deallocation when the handler
+// returns (yield_terminate).
+func (c *Ctx) YieldTerminate() { c.th.terminated = true }
+
+// SendEvent sends a message triggering the event word evw, carrying the
+// continuation cont and operands — the send_event intrinsic.
+func (c *Ctx) SendEvent(evw uint64, cont uint64, ops ...uint64) {
+	if evw == IGNRCONT {
+		// Sending to an ignored continuation is a no-op; this lets
+		// library code reply unconditionally.
+		return
+	}
+	dst := EvwNetworkID(evw)
+	if !c.lane.p.M.IsLane(dst) {
+		panic(fmt.Sprintf("udweave: send_event to non-lane networkID %d (event %q)", dst, c.lane.p.Name(EvwLabel(evw))))
+	}
+	c.env.Send(dst, arch.KindEvent, evw, cont, ops...)
+}
+
+// Reply sends operands to a continuation word; with IGNRCONT it does
+// nothing.
+func (c *Ctx) Reply(cont uint64, ops ...uint64) { c.SendEvent(cont, IGNRCONT, ops...) }
+
+// SendEventAfter is SendEvent with an additional delay before the message
+// enters the network. It models software timers (polling loops, retry
+// backoff in termination detection).
+func (c *Ctx) SendEventAfter(delay arch.Cycles, evw uint64, cont uint64, ops ...uint64) {
+	if evw == IGNRCONT {
+		return
+	}
+	dst := EvwNetworkID(evw)
+	if !c.lane.p.M.IsLane(dst) {
+		panic(fmt.Sprintf("udweave: send_event to non-lane networkID %d", dst))
+	}
+	c.env.SendAfter(delay, dst, arch.KindEvent, evw, cont, ops...)
+}
+
+// DRAMRead issues a split-phase read of nWords (max 8) 64-bit words from
+// global memory at va; the words arrive as the operands of retEvw —
+// the send_dram_read intrinsic.
+func (c *Ctx) DRAMRead(va gasmem.VA, nWords int, retEvw uint64) {
+	if nWords <= 0 || nWords > sim.MaxOperands {
+		panic(fmt.Sprintf("udweave: DRAMRead of %d words", nWords))
+	}
+	c.env.Charge(c.lane.p.M.CostSendDRAM)
+	ctrl := c.lane.p.M.MemCtrlID(c.lane.p.GAS.NodeOf(va))
+	c.env.Send(ctrl, arch.KindDRAMRead, 0, retEvw, va, uint64(nWords))
+}
+
+// DRAMWrite issues a split-phase write of vals (max 7 words) to va; ackEvw
+// (or IGNRCONT) receives the acknowledgment.
+func (c *Ctx) DRAMWrite(va gasmem.VA, ackEvw uint64, vals ...uint64) {
+	if len(vals) == 0 || len(vals) > sim.MaxOperands-1 {
+		panic(fmt.Sprintf("udweave: DRAMWrite of %d words", len(vals)))
+	}
+	c.env.Charge(c.lane.p.M.CostSendDRAM)
+	ctrl := c.lane.p.M.MemCtrlID(c.lane.p.GAS.NodeOf(va))
+	ops := append([]uint64{va}, vals...)
+	c.env.Send(ctrl, arch.KindDRAMWrite, 0, ackEvw, ops...)
+}
+
+// DRAMFetchAdd atomically adds delta to the word at va; retEvw receives the
+// prior value. This models a memory-side atomic and exists for ablation —
+// the paper implements fetch-and-add in software (see
+// collections.CombiningCache).
+func (c *Ctx) DRAMFetchAdd(va gasmem.VA, delta uint64, retEvw uint64) {
+	c.env.Charge(c.lane.p.M.CostSendDRAM)
+	ctrl := c.lane.p.M.MemCtrlID(c.lane.p.GAS.NodeOf(va))
+	c.env.Send(ctrl, arch.KindDRAMFetchAdd, 0, retEvw, va, delta)
+}
+
+// DRAMFetchAddF is DRAMFetchAdd over float64 bit patterns (ablation
+// against the software combining cache).
+func (c *Ctx) DRAMFetchAddF(va gasmem.VA, delta float64, retEvw uint64) {
+	c.env.Charge(c.lane.p.M.CostSendDRAM)
+	ctrl := c.lane.p.M.MemCtrlID(c.lane.p.GAS.NodeOf(va))
+	c.env.Send(ctrl, arch.KindDRAMFetchAddF, 0, retEvw, va, FloatBits(delta))
+}
+
+// LaneLocal returns named lane-private storage (the scratchpad), creating
+// it with init on first use. Libraries such as the combining cache keep
+// per-lane caches here.
+func (c *Ctx) LaneLocal(key string, init func() any) any {
+	if c.lane.local == nil {
+		c.lane.local = make(map[string]any)
+	}
+	v, ok := c.lane.local[key]
+	if !ok {
+		v = init()
+		c.lane.local[key] = v
+	}
+	return v
+}
+
+// LocalSlot is LaneLocal for a slot from Program.AllocSlot: an array
+// access on the hot path instead of a string-keyed map lookup.
+func (c *Ctx) LocalSlot(slot int, init func() any) any {
+	l := c.lane
+	for len(l.slots) <= slot {
+		l.slots = append(l.slots, nil)
+	}
+	if l.slots[slot] == nil {
+		l.slots[slot] = init()
+	}
+	return l.slots[slot]
+}
+
+// FloatBits and BitsFloat convert between float64 values and the uint64
+// operand representation.
+func FloatBits(f float64) uint64 { return math.Float64bits(f) }
+func BitsFloat(b uint64) float64 { return math.Float64frombits(b) }

@@ -1,0 +1,128 @@
+// Package updown is the public facade of the UpDown simulation stack: it
+// assembles a simulated machine (engine, global address space, DRAM
+// controllers, UDWeave program) and re-exports the types applications use.
+//
+// The stack reproduces the system of "KVMSR+UDWeave: Extreme-Scaling with
+// Fine-grained Parallelism on the UpDown Graph Supercomputer" (SC Workshops
+// '25): a fine-grained event-driven machine programmed through UDWeave
+// events and the KVMSR map-shuffle-reduce library.
+//
+// Quickstart:
+//
+//	m, _ := updown.New(updown.Config{Nodes: 4})
+//	hello := m.Prog.Define("hello", func(c *updown.Ctx) {
+//		c.Cycles(10)
+//		c.YieldTerminate()
+//	})
+//	m.Start(updown.EvwNew(m.Arch.LaneID(0, 0, 0), hello))
+//	stats, _ := m.Run()
+package updown
+
+import (
+	"fmt"
+
+	"updown/internal/arch"
+	"updown/internal/dram"
+	"updown/internal/gasmem"
+	"updown/internal/sim"
+	"updown/internal/udweave"
+)
+
+// Re-exported core types so applications only import this package.
+type (
+	// Ctx is the execution context handed to every event handler.
+	Ctx = udweave.Ctx
+	// Label names a registered event handler.
+	Label = udweave.Label
+	// NetworkID identifies a computation location.
+	NetworkID = arch.NetworkID
+	// Cycles is simulated time in lane clock cycles.
+	Cycles = arch.Cycles
+	// Stats summarizes a simulation run.
+	Stats = sim.Stats
+	// VA is a virtual address in the global address space.
+	VA = gasmem.VA
+)
+
+// IGNRCONT is the "no continuation" sentinel.
+const IGNRCONT = udweave.IGNRCONT
+
+// Re-exported intrinsics.
+var (
+	// EvwNew builds an event word for a new thread on a lane.
+	EvwNew = udweave.EvwNew
+	// EvwExisting builds an event word for an existing thread.
+	EvwExisting = udweave.EvwExisting
+	// EvwUpdateEvent swaps the label of an event word.
+	EvwUpdateEvent = udweave.EvwUpdateEvent
+	// FloatBits / BitsFloat convert float64 operands.
+	FloatBits = udweave.FloatBits
+	BitsFloat = udweave.BitsFloat
+)
+
+// Config selects the machine to simulate.
+type Config struct {
+	// Nodes is the UpDown node count (each node has 32 accelerators x 64
+	// lanes). Required.
+	Nodes int
+	// Shards is the host parallelism of the simulator; 0 = auto,
+	// 1 = sequential reference mode.
+	Shards int
+	// MaxTime bounds simulated cycles (0 = unbounded); runs exceeding it
+	// return sim.ErrTimeout.
+	MaxTime Cycles
+	// Arch, when non-nil, overrides the full architecture description
+	// (used by ablation experiments that sweep latency or bandwidth).
+	Arch *arch.Machine
+}
+
+// Machine is an assembled simulated UpDown system.
+type Machine struct {
+	Arch   arch.Machine
+	Engine *sim.Engine
+	GAS    *gasmem.GAS
+	Prog   *udweave.Program
+	Ctrls  []*dram.Controller
+}
+
+// New assembles a machine.
+func New(cfg Config) (*Machine, error) {
+	var a arch.Machine
+	if cfg.Arch != nil {
+		a = *cfg.Arch
+	} else {
+		if cfg.Nodes <= 0 {
+			return nil, fmt.Errorf("updown: Config.Nodes must be positive")
+		}
+		a = arch.DefaultMachine(cfg.Nodes)
+	}
+	gas := gasmem.New(a.Nodes, a.DRAMBytesPerNode)
+	prog := udweave.NewProgram(a, gas)
+	eng, err := sim.NewEngine(a, sim.Options{
+		Shards:      cfg.Shards,
+		MaxTime:     cfg.MaxTime,
+		LaneFactory: prog.NewLane,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ctrls := dram.Install(eng, gas)
+	return &Machine{Arch: a, Engine: eng, GAS: gas, Prog: prog, Ctrls: ctrls}, nil
+}
+
+// Start posts an initial event (time 0) triggering evw with the given
+// operands; the host is the source.
+func (m *Machine) Start(evw uint64, ops ...uint64) {
+	m.Engine.Post(0, udweave.EvwNetworkID(evw), arch.KindEvent, evw, udweave.IGNRCONT, ops...)
+}
+
+// StartWithCont is Start with an explicit continuation word.
+func (m *Machine) StartWithCont(evw, cont uint64, ops ...uint64) {
+	m.Engine.Post(0, udweave.EvwNetworkID(evw), arch.KindEvent, evw, cont, ops...)
+}
+
+// Run simulates to quiescence.
+func (m *Machine) Run() (Stats, error) { return m.Engine.Run() }
+
+// Seconds converts simulated cycles to seconds at the machine clock.
+func (m *Machine) Seconds(c Cycles) float64 { return m.Arch.Seconds(c) }

@@ -1,0 +1,89 @@
+package updown_test
+
+import (
+	"testing"
+
+	"updown"
+	"updown/internal/arch"
+)
+
+func TestNewValidatesConfig(t *testing.T) {
+	if _, err := updown.New(updown.Config{}); err == nil {
+		t.Error("zero Nodes accepted")
+	}
+	if _, err := updown.New(updown.Config{Nodes: -1}); err == nil {
+		t.Error("negative Nodes accepted")
+	}
+	bad := arch.DefaultMachine(2)
+	bad.LatCrossNode = 0
+	if _, err := updown.New(updown.Config{Arch: &bad}); err == nil {
+		t.Error("invalid Arch accepted")
+	}
+}
+
+func TestFacadeQuickstart(t *testing.T) {
+	m, err := updown.New(updown.Config{Nodes: 2, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ran bool
+	hello := m.Prog.Define("hello", func(c *updown.Ctx) {
+		ran = true
+		c.Cycles(10)
+		c.YieldTerminate()
+	})
+	m.Start(updown.EvwNew(m.Arch.LaneID(1, 3, 7), hello), 42)
+	stats, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ran || stats.Events != 1 {
+		t.Fatalf("ran=%v events=%d", ran, stats.Events)
+	}
+	if m.Seconds(2e9) != 1.0 {
+		t.Errorf("Seconds(2e9) = %v at 2 GHz", m.Seconds(2e9))
+	}
+}
+
+func TestFacadeStartWithCont(t *testing.T) {
+	m, err := updown.New(updown.Config{Nodes: 1, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []uint64
+	var done updown.Label
+	work := m.Prog.Define("work", func(c *updown.Ctx) {
+		c.Reply(c.Cont(), c.Op(0)*2)
+		c.YieldTerminate()
+	})
+	done = m.Prog.Define("done", func(c *updown.Ctx) {
+		got = append(got, c.Op(0))
+		c.YieldTerminate()
+	})
+	m.StartWithCont(updown.EvwNew(0, work), updown.EvwNew(0, done), 21)
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != 42 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestFloatHelpersRoundTrip(t *testing.T) {
+	for _, f := range []float64{0, 1.5, -2.25, 1e-300} {
+		if updown.BitsFloat(updown.FloatBits(f)) != f {
+			t.Errorf("round trip failed for %v", f)
+		}
+	}
+}
+
+func TestEvwHelpers(t *testing.T) {
+	evw := updown.EvwNew(7, 3)
+	up := updown.EvwUpdateEvent(evw, 5)
+	if updown.EvwNew(7, 5) != up {
+		t.Error("EvwUpdateEvent mismatch with EvwNew")
+	}
+	if updown.EvwExisting(7, 0, 3) == evw {
+		t.Error("EvwNew must request a fresh thread, not thread 0")
+	}
+}
