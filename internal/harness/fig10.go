@@ -2,6 +2,7 @@ package harness
 
 import (
 	"fmt"
+	"time"
 
 	"updown"
 	"updown/internal/apps/ingest"
@@ -66,18 +67,22 @@ func Fig10Ingestion(opt Fig10Options) ([]*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			if _, err := app.Run(); err != nil {
+			wall := time.Now()
+			stats, err := app.Run()
+			if err != nil {
 				return nil, fmt.Errorf("fig10 %gx nodes=%d: %w", mult, nodes, err)
 			}
+			hostRate := hostMevS(stats.Events, time.Since(wall))
 			if app.Records != uint64(n) {
 				return nil, fmt.Errorf("fig10 %gx nodes=%d: parsed %d records, want %d", mult, nodes, app.Records, n)
 			}
 			sec := m.Seconds(app.Elapsed())
 			tb.Rows = append(tb.Rows, Row{
-				Label:   fmt.Sprintf("%d", nodes),
-				Cycles:  app.Elapsed(),
-				Seconds: sec,
-				Metric:  float64(n) / sec / 1e6,
+				Label:    fmt.Sprintf("%d", nodes),
+				Cycles:   app.Elapsed(),
+				Seconds:  sec,
+				Metric:   float64(n) / sec / 1e6,
+				HostMevS: hostRate,
 			})
 		}
 		tb.FillSpeedups()
@@ -146,9 +151,12 @@ func Fig11PartialMatch(opt Fig11Options) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		if _, err := app.Run(); err != nil {
+		wall := time.Now()
+		stats, err := app.Run()
+		if err != nil {
 			return nil, fmt.Errorf("fig11 lanes=%d: %w", lanes, err)
 		}
+		hostRate := hostMevS(stats.Events, time.Since(wall))
 		if app.Processed() != uint64(opt.Records) {
 			return nil, fmt.Errorf("fig11 lanes=%d: processed %d of %d", lanes, app.Processed(), opt.Records)
 		}
@@ -157,11 +165,12 @@ func Fig11PartialMatch(opt Fig11Options) (*Table, error) {
 			baseLat = lat
 		}
 		tb.Rows = append(tb.Rows, Row{
-			Label:   fmt.Sprintf("%d lanes", lanes),
-			Cycles:  arch.Cycles(lat),
-			Seconds: lat / 2e9,
-			Speedup: baseLat / lat,
-			Metric:  lat / 2e9 * 1e6,
+			Label:    fmt.Sprintf("%d lanes", lanes),
+			Cycles:   arch.Cycles(lat),
+			Seconds:  lat / 2e9,
+			Speedup:  baseLat / lat,
+			Metric:   lat / 2e9 * 1e6,
+			HostMevS: hostRate,
 		})
 		_ = want
 	}

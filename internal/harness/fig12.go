@@ -2,6 +2,7 @@ package harness
 
 import (
 	"fmt"
+	"time"
 
 	"updown"
 	"updown/internal/apps/bfs"
@@ -79,15 +80,19 @@ func Fig12Placement(opt Fig12Options) ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		if _, err := app.Run(); err != nil {
+		wall := time.Now()
+		stats, err := app.Run()
+		if err != nil {
 			return nil, fmt.Errorf("fig12 pr mem=%d: %w", mem, err)
 		}
+		hostRate := hostMevS(stats.Events, time.Since(wall))
 		sec := m.Seconds(app.Elapsed())
 		prT.Rows = append(prT.Rows, Row{
-			Label:   fmt.Sprintf("mem=%d", mem),
-			Cycles:  app.Elapsed(),
-			Seconds: sec,
-			Metric:  float64(g.NumEdges()) / sec / 1e9,
+			Label:    fmt.Sprintf("mem=%d", mem),
+			Cycles:   app.Elapsed(),
+			Seconds:  sec,
+			Metric:   float64(g.NumEdges()) / sec / 1e9,
+			HostMevS: hostRate,
 		})
 	}
 	prT.FillSpeedups()
@@ -110,15 +115,19 @@ func Fig12Placement(opt Fig12Options) ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		if _, err := app.Run(); err != nil {
+		wall := time.Now()
+		stats, err := app.Run()
+		if err != nil {
 			return nil, fmt.Errorf("fig12 bfs mem=%d: %w", mem, err)
 		}
+		hostRate := hostMevS(stats.Events, time.Since(wall))
 		sec := m.Seconds(app.Elapsed())
 		bfsT.Rows = append(bfsT.Rows, Row{
-			Label:   fmt.Sprintf("mem=%d", mem),
-			Cycles:  app.Elapsed(),
-			Seconds: sec,
-			Metric:  float64(app.Traversed) / sec / 1e9,
+			Label:    fmt.Sprintf("mem=%d", mem),
+			Cycles:   app.Elapsed(),
+			Seconds:  sec,
+			Metric:   float64(app.Traversed) / sec / 1e9,
+			HostMevS: hostRate,
 		})
 	}
 	bfsT.FillSpeedups()

@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"updown"
 	"updown/internal/apps/bfs"
@@ -105,9 +106,12 @@ func Fig9PageRank(opt Fig9Options) ([]*Table, error) {
 				return nil, err
 			}
 			app.InitValues()
-			if _, err := app.Run(); err != nil {
+			wall := time.Now()
+			stats, err := app.Run()
+			if err != nil {
 				return nil, fmt.Errorf("fig9 pr %s nodes=%d: %w", name, nodes, err)
 			}
+			hostRate := hostMevS(stats.Events, time.Since(wall))
 			if opt.Validate {
 				if err := comparePR(app.Values(), want); err != nil {
 					return nil, fmt.Errorf("fig9 pr %s nodes=%d: %w", name, nodes, err)
@@ -115,10 +119,11 @@ func Fig9PageRank(opt Fig9Options) ([]*Table, error) {
 			}
 			sec := m.Seconds(app.Elapsed())
 			tb.Rows = append(tb.Rows, Row{
-				Label:   fmt.Sprintf("%d", nodes),
-				Cycles:  app.Elapsed(),
-				Seconds: sec,
-				Metric:  float64(g.NumEdges()) * float64(opt.Iterations) / sec / 1e9,
+				Label:    fmt.Sprintf("%d", nodes),
+				Cycles:   app.Elapsed(),
+				Seconds:  sec,
+				Metric:   float64(g.NumEdges()) * float64(opt.Iterations) / sec / 1e9,
+				HostMevS: hostRate,
 			})
 		}
 		tb.FillSpeedups()
@@ -179,9 +184,12 @@ func Fig9BFS(opt Fig9Options) ([]*Table, error) {
 				return nil, err
 			}
 			app.InitValues()
-			if _, err := app.Run(); err != nil {
+			wall := time.Now()
+			stats, err := app.Run()
+			if err != nil {
 				return nil, fmt.Errorf("fig9 bfs %s nodes=%d: %w", name, nodes, err)
 			}
+			hostRate := hostMevS(stats.Events, time.Since(wall))
 			if opt.Validate {
 				if err := compareBFS(app.Distances(), want); err != nil {
 					return nil, fmt.Errorf("fig9 bfs %s nodes=%d: %w", name, nodes, err)
@@ -189,10 +197,11 @@ func Fig9BFS(opt Fig9Options) ([]*Table, error) {
 			}
 			sec := m.Seconds(app.Elapsed())
 			tb.Rows = append(tb.Rows, Row{
-				Label:   fmt.Sprintf("%d", nodes),
-				Cycles:  app.Elapsed(),
-				Seconds: sec,
-				Metric:  float64(app.Traversed) / sec / 1e9,
+				Label:    fmt.Sprintf("%d", nodes),
+				Cycles:   app.Elapsed(),
+				Seconds:  sec,
+				Metric:   float64(app.Traversed) / sec / 1e9,
+				HostMevS: hostRate,
 			})
 		}
 		tb.FillSpeedups()
@@ -249,18 +258,22 @@ func Fig9TC(opt Fig9Options) ([]*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			if _, err := app.Run(); err != nil {
+			wall := time.Now()
+			stats, err := app.Run()
+			if err != nil {
 				return nil, fmt.Errorf("fig9 tc %s nodes=%d: %w", name, nodes, err)
 			}
+			hostRate := hostMevS(stats.Events, time.Since(wall))
 			if opt.Validate && app.Total() != want {
 				return nil, fmt.Errorf("fig9 tc %s nodes=%d: total %d, baseline %d", name, nodes, app.Total(), want)
 			}
 			sec := m.Seconds(app.Elapsed())
 			tb.Rows = append(tb.Rows, Row{
-				Label:   fmt.Sprintf("%d", nodes),
-				Cycles:  app.Elapsed(),
-				Seconds: sec,
-				Metric:  float64(app.Total()) / sec / 1e6,
+				Label:    fmt.Sprintf("%d", nodes),
+				Cycles:   app.Elapsed(),
+				Seconds:  sec,
+				Metric:   float64(app.Total()) / sec / 1e6,
+				HostMevS: hostRate,
 			})
 		}
 		tb.FillSpeedups()

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"updown/internal/arch"
 )
@@ -32,6 +33,19 @@ type Row struct {
 	Speedup float64
 	// Metric is the throughput/latency value in MetricName units.
 	Metric float64
+	// HostMevS is the host-side simulation rate for this configuration:
+	// millions of simulated events executed per wall-clock second. It
+	// measures the simulator, not the simulated machine.
+	HostMevS float64
+}
+
+// hostMevS converts an event count and a wall-clock duration into the
+// host-Mev/s rate reported in sweep tables.
+func hostMevS(events int64, wall time.Duration) float64 {
+	if wall <= 0 {
+		return 0
+	}
+	return float64(events) / wall.Seconds() / 1e6
 }
 
 // Table is one series of one figure.
@@ -65,10 +79,10 @@ func (t *Table) FillSpeedups() {
 func (t *Table) Format() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s — %s\n", t.Title, t.Workload)
-	fmt.Fprintf(&b, "%-12s %14s %12s %10s %16s\n", "config", "cycles", "seconds", "speedup", t.MetricName)
+	fmt.Fprintf(&b, "%-12s %14s %12s %10s %16s %12s\n", "config", "cycles", "seconds", "speedup", t.MetricName, "host-Mev/s")
 	for _, r := range t.Rows {
-		fmt.Fprintf(&b, "%-12s %14d %12.6f %10.2f %16.4g\n",
-			r.Label, r.Cycles, r.Seconds, r.Speedup, r.Metric)
+		fmt.Fprintf(&b, "%-12s %14d %12.6f %10.2f %16.4g %12.3f\n",
+			r.Label, r.Cycles, r.Seconds, r.Speedup, r.Metric, r.HostMevS)
 	}
 	for _, n := range t.Notes {
 		fmt.Fprintf(&b, "  note: %s\n", n)
@@ -80,10 +94,10 @@ func (t *Table) Format() string {
 func (t *Table) Markdown() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "**%s — %s**\n\n", t.Title, t.Workload)
-	fmt.Fprintf(&b, "| config | cycles | seconds | speedup | %s |\n|---|---|---|---|---|\n", t.MetricName)
+	fmt.Fprintf(&b, "| config | cycles | seconds | speedup | %s | host-Mev/s |\n|---|---|---|---|---|---|\n", t.MetricName)
 	for _, r := range t.Rows {
-		fmt.Fprintf(&b, "| %s | %d | %.6f | %.2f | %.4g |\n",
-			r.Label, r.Cycles, r.Seconds, r.Speedup, r.Metric)
+		fmt.Fprintf(&b, "| %s | %d | %.6f | %.2f | %.4g | %.3f |\n",
+			r.Label, r.Cycles, r.Seconds, r.Speedup, r.Metric, r.HostMevS)
 	}
 	for _, n := range t.Notes {
 		fmt.Fprintf(&b, "\n*note: %s*\n", n)

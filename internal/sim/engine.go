@@ -10,8 +10,9 @@
 // partitioned by node across shards, and because every cross-node message
 // experiences at least arch.Machine.MinCrossNodeLatency cycles of network
 // latency, windows of that length can be simulated by all shards in
-// parallel without violating causality. Both modes produce bit-identical
-// results.
+// parallel without violating causality. Shards are driven by a persistent
+// worker pool with one barrier cycle per window (see pool.go). Both modes
+// produce bit-identical results.
 package sim
 
 import (
@@ -19,7 +20,6 @@ import (
 	"fmt"
 	"math"
 	"runtime"
-	"sync"
 
 	"updown/internal/arch"
 )
@@ -53,8 +53,9 @@ type Options struct {
 
 // Stats aggregates measurements across a Run.
 type Stats struct {
-	// FinalTime is the start cycle of the last executed message, i.e.
-	// the simulated completion time of the program.
+	// FinalTime is the completion cycle of the last executed message —
+	// its start cycle plus the cycles it charged — i.e. the simulated
+	// completion time of the program including the tail event's work.
 	FinalTime arch.Cycles
 	// Events counts executed messages by kind.
 	Events int64
@@ -88,23 +89,25 @@ type actorState struct {
 	// waitq holds messages that arrived while the actor was busy, in
 	// deterministic pop order. Keeping them out of the shard heap until
 	// the actor frees up bounds heap traffic; naive re-insertion at
-	// freeAt is quadratic when many messages target one actor.
+	// freeAt is quadratic when many messages target one actor. Entries
+	// are arena indices into the owning shard's heap, so parking moves
+	// 4 bytes instead of the 120-byte Message.
 	//
 	// Invariant: whenever waitq is non-empty, at least one message for
 	// this actor "floats" in the heap as a retry; every execution on the
 	// actor releases one parked message as a new floating retry, so the
 	// queue always drains.
-	waitq     []Message
+	waitq     []int32
 	waitqHead int
 	floating  int
 }
 
 func (st *actorState) waitqLen() int { return len(st.waitq) - st.waitqHead }
 
-func (st *actorState) waitqPush(m Message) { st.waitq = append(st.waitq, m) }
+func (st *actorState) waitqPush(i int32) { st.waitq = append(st.waitq, i) }
 
-func (st *actorState) waitqPop() Message {
-	m := st.waitq[st.waitqHead]
+func (st *actorState) waitqPop() int32 {
+	i := st.waitq[st.waitqHead]
 	st.waitqHead++
 	if st.waitqHead == len(st.waitq) {
 		st.waitq = st.waitq[:0]
@@ -114,7 +117,7 @@ func (st *actorState) waitqPop() Message {
 		st.waitq = st.waitq[:n]
 		st.waitqHead = 0
 	}
-	return m
+	return i
 }
 
 // Engine simulates one machine.
@@ -133,17 +136,45 @@ type Engine struct {
 	lookahead arch.Cycles
 	maxTime   arch.Cycles
 	factory   func(id arch.NetworkID) Actor
+	// nodeShard maps a node to the shard that owns it, precomputed so
+	// the per-send shard lookup is a table read instead of a
+	// multiply/divide.
+	nodeShard []int32
+	// nodeOfID maps every actor to its node. The send path needs the
+	// source and destination nodes for injection accounting, latency
+	// class, and shard routing; the table turns three NodeOf
+	// multiply/divides per send into one load each.
+	nodeOfID []int32
+	// totalLanes, lanesPerAccel and injXfer64 cache derived machine
+	// constants off the send hot path.
+	totalLanes    int
+	lanesPerAccel int
+	injXfer64     int64
 
 	hostID  arch.NetworkID
 	hostSeq uint64
-	ran     bool
+	// running is true while Run is executing; Post and Run check it so
+	// host-driver misuse (posting into a live simulation, re-entrant
+	// runs) fails loudly instead of racing with the worker pool.
+	running bool
 }
 
 type shard struct {
-	e      *Engine
-	idx    int
-	heap   msgHeap
-	outbox [][]Message // indexed by destination shard
+	e    *Engine
+	idx  int
+	heap msgHeap
+	// outbox buffers cross-shard messages, double-buffered by window
+	// parity ([parity][destination shard]); see pool.go for the
+	// synchronization argument. Slices keep their capacity across
+	// windows.
+	outbox [2][][]Message
+	// parity selects the outbox side written during the current window.
+	parity int
+	// outMin is the earliest Deliver among messages this shard wrote to
+	// its outboxes in the last processed window and that consumers have
+	// not collected yet; it feeds the cooperative window-start
+	// reduction at the barrier.
+	outMin arch.Cycles
 	stats  Stats
 }
 
@@ -175,16 +206,40 @@ func NewEngine(m arch.Machine, opts Options) (*Engine, error) {
 		lookahead: m.MinCrossNodeLatency(),
 		maxTime:   maxTime,
 		factory:   opts.LaneFactory,
+		nodeShard: make([]int32, m.Nodes),
+	}
+	for node := 0; node < m.Nodes; node++ {
+		e.nodeShard[node] = int32(node * n / m.Nodes)
+	}
+	e.nodeOfID = make([]int32, m.TotalActors())
+	for i := range e.nodeOfID {
+		e.nodeOfID[i] = int32(m.NodeOf(arch.NetworkID(i)))
+	}
+	e.totalLanes = m.TotalLanes()
+	e.lanesPerAccel = m.LanesPerAccel
+	e.injXfer64 = int64(64*m.MsgBytes) / int64(m.InjectBytesPerCycle)
+	if e.injXfer64 < 1 {
+		e.injXfer64 = 1
 	}
 	e.shards = make([]*shard, n)
 	for i := range e.shards {
-		e.shards[i] = &shard{e: e, idx: i, outbox: make([][]Message, n)}
+		s := &shard{e: e, idx: i, outMin: math.MaxInt64}
+		if n > 1 {
+			for p := 0; p < 2; p++ {
+				s.outbox[p] = make([][]Message, n)
+				for j := range s.outbox[p] {
+					s.outbox[p][j] = make([]Message, 0, 16)
+				}
+			}
+		}
+		e.shards[i] = s
 	}
 	// The host "TOP core" is an auxiliary actor used as the source of
 	// initial messages; it never receives any.
 	e.hostID = arch.NetworkID(len(e.actors))
 	e.actors = append(e.actors, nil)
 	e.state = append(e.state, actorState{})
+	e.nodeOfID = append(e.nodeOfID, 0) // host lives on node 0
 	return e, nil
 }
 
@@ -203,6 +258,7 @@ func (e *Engine) AddActor(a Actor) arch.NetworkID {
 	id := arch.NetworkID(len(e.actors))
 	e.actors = append(e.actors, a)
 	e.state = append(e.state, actorState{})
+	e.nodeOfID = append(e.nodeOfID, 0)
 	return id
 }
 
@@ -219,13 +275,20 @@ func (e *Engine) Actor(id arch.NetworkID) Actor {
 // shardOf maps an actor to the shard that owns it. Actors are partitioned
 // by node in contiguous ranges so that same-node interactions stay local.
 func (e *Engine) shardOf(id arch.NetworkID) int {
-	node := e.M.NodeOf(id)
-	return node * e.nshards / e.M.Nodes
+	return int(e.nodeShard[e.nodeOfID[id]])
 }
 
 // Post enqueues a message from the host before (or between) runs. Delivery
 // is at time t; use 0 for program start.
+//
+// Host-driver contract: Post must never be called while Run is in
+// progress — the worker pool owns the shard heaps for the whole Run, and
+// a concurrent push would race with them. Posting between runs is the
+// supported way to drive multi-phase programs.
 func (e *Engine) Post(t arch.Cycles, dst arch.NetworkID, kind uint8, event, cont uint64, ops ...uint64) {
+	if e.running {
+		panic("sim: Post called while Run is in progress; post before Run or between runs")
+	}
 	if len(ops) > MaxOperands {
 		panic(fmt.Sprintf("sim: Post with %d operands (max %d)", len(ops), MaxOperands))
 	}
@@ -239,26 +302,17 @@ func (e *Engine) Post(t arch.Cycles, dst arch.NetworkID, kind uint8, event, cont
 // It may be called repeatedly: later calls continue from the accumulated
 // actor clocks, so a host driver can post work in phases.
 func (e *Engine) Run() (Stats, error) {
-	e.ran = true
-	var timedOut bool
-	for {
-		t := e.minPending()
-		if t == math.MaxInt64 {
-			break
-		}
-		if t > e.maxTime {
-			timedOut = true
-			break
-		}
-		horizon := e.maxTime + 1
-		if e.nshards > 1 {
-			horizon = t + e.lookahead
-		}
-		e.parallel(func(s *shard) { s.processWindow(horizon) })
-		if e.nshards > 1 {
-			e.parallel(func(s *shard) { s.collect() })
-		}
+	if e.running {
+		panic("sim: Run called re-entrantly")
 	}
+	e.running = true
+	var timedOut bool
+	if e.nshards == 1 {
+		timedOut = e.runSequential()
+	} else {
+		timedOut = e.runParallel()
+	}
+	e.running = false
 	var total Stats
 	for _, s := range e.shards {
 		total.Events += s.stats.Events
@@ -282,30 +336,19 @@ func (e *Engine) Run() (Stats, error) {
 	return total, nil
 }
 
-func (e *Engine) minPending() arch.Cycles {
-	min := arch.Cycles(math.MaxInt64)
-	for _, s := range e.shards {
-		if s.heap.len() > 0 && s.heap.top().Deliver < min {
-			min = s.heap.top().Deliver
+// runSequential drives the single shard without windows or barriers: one
+// pass processes everything up to MaxTime. It reports whether simulated
+// time exceeded MaxTime.
+func (e *Engine) runSequential() bool {
+	s := e.shards[0]
+	for s.heap.len() > 0 {
+		if s.heap.topDeliver() > e.maxTime {
+			return true
 		}
+		s.processWindow(e.maxTime + 1)
+		s.heap.compact()
 	}
-	return min
-}
-
-func (e *Engine) parallel(f func(*shard)) {
-	if e.nshards == 1 {
-		f(e.shards[0])
-		return
-	}
-	var wg sync.WaitGroup
-	wg.Add(e.nshards)
-	for _, s := range e.shards {
-		go func(s *shard) {
-			defer wg.Done()
-			f(s)
-		}(s)
-	}
-	wg.Wait()
+	return false
 }
 
 // processWindow executes all messages with effective start time below the
@@ -313,29 +356,36 @@ func (e *Engine) parallel(f func(*shard)) {
 func (s *shard) processWindow(horizon arch.Cycles) {
 	e := s.e
 	env := Env{e: e, shard: s}
-	for s.heap.len() > 0 && s.heap.top().Deliver < horizon {
-		m := s.heap.pop()
-		st := &e.state[m.Dst]
-		if m.retry {
+	h := &s.heap
+	for h.len() > 0 && h.topDeliver() < horizon {
+		mi := h.popIdx()
+		pm := &h.arena[mi]
+		st := &e.state[pm.Dst]
+		if pm.retry {
 			st.floating--
-			m.retry = false
+			pm.retry = false
 		}
-		if st.freeAt > m.Deliver {
+		if st.freeAt > pm.Deliver {
 			if st.floating > 0 {
 				// A retry for this actor is already in flight;
 				// its execution will release us later. Heap
 				// pops are in key order, so the queue stays
-				// deterministic.
-				st.waitqPush(m)
+				// deterministic. Park the arena index; the
+				// message itself does not move.
+				st.waitqPush(mi)
 			} else {
 				// Become the floating retry.
-				m.Deliver = st.freeAt
-				m.retry = true
+				pm.Deliver = st.freeAt
+				pm.retry = true
 				st.floating++
-				s.heap.push(m)
+				h.pushIdx(mi)
 			}
 			continue
 		}
+		// Copy out before executing: sends during OnMessage may grow
+		// (and reallocate) the arena backing pm.
+		m := *pm
+		h.release(mi)
 		a := e.Actor(m.Dst)
 		if a == nil {
 			panic(fmt.Sprintf("sim: message %d->%d kind %d for unregistered actor", m.Src, m.Dst, m.Kind))
@@ -349,8 +399,8 @@ func (s *shard) processWindow(horizon arch.Cycles) {
 		st.used = true
 		s.stats.Events++
 		s.stats.BusyCycles += int64(env.charged)
-		if m.Deliver > s.stats.FinalTime {
-			s.stats.FinalTime = m.Deliver
+		if st.freeAt > s.stats.FinalTime {
+			s.stats.FinalTime = st.freeAt
 		}
 		switch m.Kind {
 		case arch.KindDRAMRead:
@@ -361,25 +411,30 @@ func (s *shard) processWindow(horizon arch.Cycles) {
 		if st.waitqLen() > 0 {
 			// Release the next parked message at the actor's new
 			// free time.
-			next := st.waitqPop()
-			if next.Deliver < st.freeAt {
-				next.Deliver = st.freeAt
+			ni := st.waitqPop()
+			nm := &h.arena[ni]
+			if nm.Deliver < st.freeAt {
+				nm.Deliver = st.freeAt
 			}
-			next.retry = true
+			nm.retry = true
 			st.floating++
-			s.heap.push(next)
+			h.pushIdx(ni)
 		}
 	}
 }
 
-// collect merges cross-shard messages produced during the last window.
-func (s *shard) collect() {
+// collect merges the cross-shard messages other shards produced for this
+// shard on the given outbox side. Emptied boxes keep their capacity.
+func (s *shard) collect(parity int) {
 	for _, other := range s.e.shards {
-		box := other.outbox[s.idx]
+		box := other.outbox[parity][s.idx]
+		if len(box) == 0 {
+			continue
+		}
 		for i := range box {
 			s.heap.push(box[i])
 		}
-		other.outbox[s.idx] = box[:0]
+		other.outbox[parity][s.idx] = box[:0]
 	}
 }
 
@@ -433,34 +488,48 @@ func (v *Env) sendAt(t, extra arch.Cycles, dst arch.NetworkID, kind uint8, event
 		panic(fmt.Sprintf("sim: send with %d operands (max %d)", len(ops), MaxOperands))
 	}
 	e := v.e
-	srcNode := e.M.NodeOf(v.self)
-	dstNode := e.M.NodeOf(dst)
+	srcNode := int(e.nodeOfID[v.self])
+	dstNode := int(e.nodeOfID[dst])
 	entry := t + extra
 	if srcNode != dstNode {
 		// Serialize through the node's injection port (4 TB/s).
-		xfer := int64(64*e.M.MsgBytes) / int64(e.M.InjectBytesPerCycle)
-		if xfer < 1 {
-			xfer = 1
-		}
 		busy := &e.injBusy64[srcNode]
 		t64 := int64(entry) * 64
 		if *busy < t64 {
 			*busy = t64
 		}
-		*busy += xfer
+		*busy += e.injXfer64
 		entry = arch.Cycles((*busy + 63) / 64)
 	}
-	deliver := entry + e.M.Latency(v.self, dst)
+	// Latency class, mirroring arch.Machine.Latency but with the node
+	// lookups already done.
+	var lat arch.Cycles
+	switch {
+	case v.self == dst:
+		lat = e.M.LatSameLane
+	case srcNode != dstNode:
+		lat = e.M.LatCrossNode
+	case int(v.self) < e.totalLanes && int(dst) < e.totalLanes &&
+		int(v.self)/e.lanesPerAccel == int(dst)/e.lanesPerAccel:
+		lat = e.M.LatSameAccel
+	default:
+		lat = e.M.LatSameNode
+	}
+	deliver := entry + lat
 	st := &e.state[v.self]
 	m := Message{Deliver: deliver, Src: v.self, Seq: st.seq, Dst: dst, Kind: kind, Event: event, Cont: cont, NOps: uint8(len(ops))}
 	st.seq++
 	copy(m.Ops[:], ops)
-	v.shard.stats.Sends++
-	dstShard := e.shardOf(dst)
-	if dstShard == v.shard.idx {
-		v.shard.heap.push(m)
+	s := v.shard
+	s.stats.Sends++
+	dstShard := int(e.nodeShard[dstNode])
+	if dstShard == s.idx {
+		s.heap.push(m)
 	} else {
-		v.shard.outbox[dstShard] = append(v.shard.outbox[dstShard], m)
+		s.outbox[s.parity][dstShard] = append(s.outbox[s.parity][dstShard], m)
+		if deliver < s.outMin {
+			s.outMin = deliver
+		}
 	}
 }
 

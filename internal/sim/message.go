@@ -53,14 +53,35 @@ func (m *Message) before(o *Message) bool {
 	return m.Seq < o.Seq
 }
 
+// heapEnt is one heap node: the (Deliver, Src) prefix of the ordering key
+// plus the arena index of the full message. Embedding the key prefix keeps
+// sift comparisons cache-local — the 120-byte Message is only dereferenced
+// to break (Deliver, Src) ties on Seq, which requires two messages from
+// the same sender arriving on the same cycle.
+type heapEnt struct {
+	d   arch.Cycles
+	src int32
+	i   int32
+}
+
 // msgHeap is a binary min-heap ordered by (Deliver, Src, Seq). Messages
-// live in an arena and the heap permutes 32-bit indices, so sift
-// operations move 4 bytes instead of the 120-byte Message — the hottest
-// loop in the simulator.
+// live in an arena and the heap permutes 16-byte key entries instead of
+// the 120-byte Message — the hottest loop in the simulator.
 type msgHeap struct {
 	arena []Message
 	free  []int32
-	idx   []int32
+	idx   []heapEnt
+}
+
+// entBefore reports whether entry a precedes entry b in the total order.
+func (h *msgHeap) entBefore(a, b heapEnt) bool {
+	if a.d != b.d {
+		return a.d < b.d
+	}
+	if a.src != b.src {
+		return a.src < b.src
+	}
+	return h.arena[a.i].Seq < h.arena[b.i].Seq
 }
 
 func (h *msgHeap) len() int { return len(h.idx) }
@@ -78,15 +99,69 @@ func (h *msgHeap) alloc(m Message) int32 {
 
 func (h *msgHeap) push(m Message) {
 	i := h.alloc(m)
-	h.idx = append(h.idx, i)
+	h.idx = append(h.idx, heapEnt{d: m.Deliver, src: int32(m.Src), i: i})
 	h.siftUp(len(h.idx) - 1)
 }
 
+// pushIdx re-inserts an already-allocated arena slot into the heap,
+// reading the ordering key from the arena. The engine uses it to move
+// parked messages between the per-actor wait queues and the heap without
+// copying the 120-byte Message.
+func (h *msgHeap) pushIdx(i int32) {
+	m := &h.arena[i]
+	h.idx = append(h.idx, heapEnt{d: m.Deliver, src: int32(m.Src), i: i})
+	h.siftUp(len(h.idx) - 1)
+}
+
+// popIdx removes the minimum entry from the heap but keeps its arena slot
+// allocated; the caller owns the slot until it calls release or pushIdx.
+// The slot contents stay valid across push/pushIdx (the arena only grows
+// or is compacted, and compaction refuses to run while slots are parked).
+func (h *msgHeap) popIdx() int32 {
+	i := h.idx[0].i
+	last := len(h.idx) - 1
+	h.idx[0] = h.idx[last]
+	h.idx = h.idx[:last]
+	if last > 0 {
+		h.siftDown(0)
+	}
+	return i
+}
+
+// release returns an arena slot obtained from popIdx to the free list.
+func (h *msgHeap) release(i int32) { h.free = append(h.free, i) }
+
+// live returns the number of allocated arena slots: heap entries plus
+// slots parked outside the heap via popIdx.
+func (h *msgHeap) live() int { return len(h.arena) - len(h.free) }
+
+// compact rebuilds the arena around the live entries when the free list
+// dominates it, so multi-phase drivers (Run called repeatedly) do not
+// hold peak-phase memory forever. It only runs when every live slot is
+// referenced by the heap itself — parked wait-queue indices held by
+// actors make slot movement unsafe — and when the arena is both mostly
+// free (len(free) > 2*len(idx)) and worth reclaiming (cap > 4096).
+func (h *msgHeap) compact() {
+	if h.live() != len(h.idx) {
+		return
+	}
+	if cap(h.arena) <= 4096 || len(h.free) <= 2*len(h.idx) {
+		return
+	}
+	arena := make([]Message, len(h.idx))
+	for j := range h.idx {
+		arena[j] = h.arena[h.idx[j].i]
+		h.idx[j].i = int32(j)
+	}
+	h.arena = arena
+	h.free = nil
+}
+
 func (h *msgHeap) siftUp(i int) {
-	a, idx := h.arena, h.idx
+	idx := h.idx
 	for i > 0 {
 		p := (i - 1) / 2
-		if !a[idx[i]].before(&a[idx[p]]) {
+		if !h.entBefore(idx[i], idx[p]) {
 			break
 		}
 		idx[i], idx[p] = idx[p], idx[i]
@@ -96,31 +171,29 @@ func (h *msgHeap) siftUp(i int) {
 
 // top returns the minimum message without removing it. It must not be
 // called on an empty heap. The pointer is invalidated by push/pop.
-func (h *msgHeap) top() *Message { return &h.arena[h.idx[0]] }
+func (h *msgHeap) top() *Message { return &h.arena[h.idx[0].i] }
+
+// topDeliver returns the delivery time of the minimum message without
+// touching the arena. It must not be called on an empty heap.
+func (h *msgHeap) topDeliver() arch.Cycles { return h.idx[0].d }
 
 func (h *msgHeap) pop() Message {
-	i := h.idx[0]
+	i := h.popIdx()
 	m := h.arena[i]
-	h.free = append(h.free, i)
-	last := len(h.idx) - 1
-	h.idx[0] = h.idx[last]
-	h.idx = h.idx[:last]
-	if last > 0 {
-		h.siftDown(0)
-	}
+	h.release(i)
 	return m
 }
 
 func (h *msgHeap) siftDown(i int) {
-	a, idx := h.arena, h.idx
+	idx := h.idx
 	n := len(idx)
 	for {
 		l, r := 2*i+1, 2*i+2
 		small := i
-		if l < n && a[idx[l]].before(&a[idx[small]]) {
+		if l < n && h.entBefore(idx[l], idx[small]) {
 			small = l
 		}
-		if r < n && a[idx[r]].before(&a[idx[small]]) {
+		if r < n && h.entBefore(idx[r], idx[small]) {
 			small = r
 		}
 		if small == i {

@@ -1,0 +1,161 @@
+// Persistent worker pool for the window-parallel engine.
+//
+// The previous engine spawned nshards goroutines and joined a
+// sync.WaitGroup twice per lookahead window (once to process, once to
+// collect cross-shard messages). On window-dominated workloads — one
+// event per window is common in latency-bound phases — that host
+// overhead dwarfed the simulation work. This pool starts one goroutine
+// per shard for the whole Run and synchronizes them with a reusable
+// sense-reversing barrier, one barrier cycle per window:
+//
+//	publish local min ─ barrier (reduce → window start) ─ collect ─ process
+//
+// The process and collect phases fuse into a single barrier cycle
+// because outboxes are double-buffered by window parity: the buffer a
+// shard writes during window w is only read by its consumers after the
+// w+1 barrier, and is only written again (window w+2) after every
+// consumer has passed the w+2 barrier — by which point the consumer has
+// finished draining it. The barrier itself is the only synchronization.
+//
+// The window start is computed cooperatively: each worker publishes the
+// earliest pending message it knows about (its heap top, plus the
+// earliest uncollected message it produced into its outboxes), and the
+// last barrier arriver reduces those to the global minimum. Empty gaps
+// between events are therefore jumped in one step, and a shard whose
+// heap top lies beyond the horizon skips the window entirely — it
+// neither scans its heap nor touches its actors, it just re-arrives at
+// the barrier.
+package sim
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"updown/internal/arch"
+)
+
+// barrier is a reusable sense-reversing barrier for n participants. The
+// last goroutine to arrive runs the reduction closure before releasing
+// the others.
+type barrier struct {
+	n      int32
+	count  atomic.Int32
+	sense  atomic.Uint32
+	single bool // GOMAXPROCS == 1: yield immediately instead of spinning
+}
+
+func newBarrier(n int) *barrier {
+	return &barrier{n: int32(n), single: runtime.GOMAXPROCS(0) == 1}
+}
+
+// await blocks until all n participants have arrived with the same sense
+// value, which must alternate 1,0,1,... on successive calls. fn, when
+// non-nil, runs exactly once per cycle, on the last arriver, while the
+// others wait; writes it makes are visible to every participant after
+// release (the atomic sense store/load pair orders them).
+func (b *barrier) await(sense uint32, fn func()) {
+	if b.count.Add(1) == b.n {
+		b.count.Store(0)
+		if fn != nil {
+			fn()
+		}
+		b.sense.Store(sense)
+		return
+	}
+	spin := 0
+	for b.sense.Load() != sense {
+		spin++
+		if b.single || spin&63 == 0 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// paddedCycles keeps per-worker published minima on separate cache lines.
+type paddedCycles struct {
+	v arch.Cycles
+	_ [56]byte
+}
+
+// pool is the per-Run coordination state of the persistent workers.
+type pool struct {
+	e    *Engine
+	bar  *barrier
+	mins []paddedCycles
+	// windowStart is the earliest pending message time across all
+	// shards, written by the last barrier arriver each cycle;
+	// math.MaxInt64 means the simulation is quiescent.
+	windowStart arch.Cycles
+	timedOut    bool
+}
+
+// runParallel executes Run with nshards persistent workers. It reports
+// whether simulated time exceeded MaxTime.
+func (e *Engine) runParallel() bool {
+	p := &pool{e: e, bar: newBarrier(e.nshards), mins: make([]paddedCycles, e.nshards)}
+	var wg sync.WaitGroup
+	wg.Add(e.nshards)
+	for _, s := range e.shards {
+		go func(s *shard) {
+			defer wg.Done()
+			p.worker(s)
+		}(s)
+	}
+	wg.Wait()
+	return p.timedOut
+}
+
+// worker is the per-shard loop; see the package comment for the window
+// protocol and the outbox double-buffering argument.
+func (p *pool) worker(s *shard) {
+	e := p.e
+	sense := uint32(0)
+	parity := 0
+	for {
+		// Publish the earliest pending work this shard knows about:
+		// its heap top plus the earliest message it produced last
+		// window that its consumers have not collected yet.
+		lm := arch.Cycles(math.MaxInt64)
+		if s.heap.len() > 0 {
+			lm = s.heap.topDeliver()
+		}
+		if s.outMin < lm {
+			lm = s.outMin
+		}
+		p.mins[s.idx].v = lm
+		sense ^= 1
+		p.bar.await(sense, func() {
+			min := arch.Cycles(math.MaxInt64)
+			for i := range p.mins {
+				if p.mins[i].v < min {
+					min = p.mins[i].v
+				}
+			}
+			p.windowStart = min
+			if min != math.MaxInt64 && min > e.maxTime {
+				p.timedOut = true
+			}
+		})
+		t := p.windowStart
+		if t == math.MaxInt64 || t > e.maxTime {
+			break
+		}
+		// Collect what the previous window produced for us, then reuse
+		// that buffer side for this window's outbound messages.
+		s.collect(parity ^ 1)
+		s.outMin = math.MaxInt64
+		s.parity = parity
+		if s.heap.len() > 0 && s.heap.topDeliver() < t+e.lookahead {
+			s.processWindow(t + e.lookahead)
+			s.heap.compact()
+		}
+		parity ^= 1
+	}
+	// Drain any uncollected inbound messages (possible when MaxTime was
+	// exceeded) so a later Run on the same engine does not lose them.
+	// Every producer is past the final barrier, so the reads are ordered.
+	s.collect(0)
+	s.collect(1)
+}
