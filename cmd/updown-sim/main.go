@@ -11,6 +11,14 @@
 //
 // Alternatively, -gv/-nl load a preprocessed binary graph produced by
 // cmd/preprocess.
+//
+// Observability: -profile prints the per-node utilization report and
+// per-kind breakdown after the run; -trace out.json exports a Chrome
+// trace_event file loadable in Perfetto (ui.perfetto.dev), one process
+// per node with counter tracks for lane occupancy, DRAM traffic/backlog
+// and injection backlog:
+//
+//	updown-sim -app pr -nodes 16 -profile -trace pr.json
 package main
 
 import (
@@ -27,6 +35,7 @@ import (
 	"updown/internal/apps/tc"
 	"updown/internal/arch"
 	"updown/internal/graph"
+	"updown/internal/metrics"
 	"updown/internal/tform"
 )
 
@@ -45,10 +54,17 @@ func main() {
 	records := flag.Int("records", 5000, "record count for ingest/match")
 	seed := flag.Uint64("seed", 42, "generator seed")
 	shards := flag.Int("shards", 0, "simulator host parallelism (0 = auto)")
+	profile := flag.Bool("profile", false, "print the per-node utilization profile after the run")
+	tracePath := flag.String("trace", "", "write a Perfetto/Chrome trace_event JSON file")
+	interval := flag.Int64("metrics-interval", 0, "profile sampling interval in cycles (0 = default)")
 	flag.Parse()
 
 	ar := updownArch(*nodes, *accels)
-	m, err := updown.New(updown.Config{Arch: &ar, Shards: *shards, MaxTime: 1 << 46})
+	var mopts *metrics.Options
+	if *profile || *tracePath != "" {
+		mopts = &metrics.Options{Interval: *interval}
+	}
+	m, err := updown.New(updown.Config{Arch: &ar, Shards: *shards, MaxTime: 1 << 46, Metrics: mopts})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -116,6 +132,26 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown app %q\n", *app)
 		os.Exit(2)
+	}
+
+	if m.Metrics != nil {
+		p := m.Metrics.Profile()
+		if *profile {
+			fmt.Println()
+			if err := p.WriteText(os.Stdout); err != nil {
+				log.Fatal(err)
+			}
+			s := p.Summarize(m.Arch)
+			fmt.Printf("nodes touched: %d, imbalance %.2fx (peak node %d), DRAM util %.1f%%, inj util %.1f%%\n",
+				s.NodesTouched, s.Imbalance, s.PeakBusyNode, 100*s.DRAMUtil, 100*s.InjUtil)
+		}
+		if *tracePath != "" {
+			f, err := os.Create(*tracePath)
+			must(err)
+			must(p.WriteTrace(f, m.Arch))
+			must(f.Close())
+			fmt.Printf("trace written to %s (open in ui.perfetto.dev)\n", *tracePath)
+		}
 	}
 }
 

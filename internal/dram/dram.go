@@ -61,6 +61,16 @@ func (c *Controller) OnMessage(env *sim.Env, m *sim.Message) {
 			c.respond(env, delay, m.Cont, words[:n])
 		}
 	case arch.KindDRAMWrite:
+		// Ops[0] is the address, Ops[1:] the data words. A message with no
+		// operands at all is malformed (it has no address); validate like
+		// KindDRAMRead does, or the unchecked n = -1 would flow negative
+		// byte counts into c.Bytes and Stats.DRAMBytes. n == 0 (address
+		// only) is a legal ack-only write: it stores nothing and moves
+		// zero bytes, but still serializes through the controller and
+		// acknowledges its continuation.
+		if m.NOps == 0 {
+			panic("dram: write message without an address operand")
+		}
 		va := m.Ops[0]
 		n := int(m.NOps) - 1
 		for i := 0; i < n; i++ {
@@ -103,7 +113,7 @@ func (c *Controller) service(env *sim.Env, bytes int64) arch.Cycles {
 	}
 	c.busy64 += xfer
 	c.Bytes += bytes
-	env.AddDRAMBytes(bytes)
+	env.AddDRAMTraffic(bytes, c.busy64)
 	done := arch.Cycles((c.busy64 + 63) / 64)
 	return done - env.Now() + c.m.DRAMLatency
 }

@@ -165,6 +165,88 @@ func TestIgnoredContinuationSendsNothing(t *testing.T) {
 	}
 }
 
+// TestStatsAccountingMixedKinds pins the engine's DRAM accounting under a
+// mix of request kinds: exact DRAMReads/DRAMWrites/DRAMBytes. It is the
+// regression test for the missing KindDRAMFetchAddF case in the stats
+// switch — float fetch-adds (PageRank's hot path) are read-modify-writes
+// and must be counted as writes, like KindDRAMFetchAdd.
+func TestStatsAccountingMixedKinds(t *testing.T) {
+	r := newRig(t, 1, 0)
+	va, _ := r.gas.DRAMmalloc(4096, 0, 1, 4096)
+	lane := r.m.LaneID(0, 0, 0)
+	r.eng.SetActor(lane, &recorder{})
+	cont := udweave.EvwExisting(lane, 0, 1)
+
+	// 3 reads of 2 words, 2 writes of 3 data words, 1 integer fetch-add,
+	// 2 float fetch-adds.
+	for i := 0; i < 3; i++ {
+		r.eng.Post(arch.Cycles(i), r.m.MemCtrlID(0), arch.KindDRAMRead, 0, cont, va, 2)
+	}
+	for i := 0; i < 2; i++ {
+		r.eng.Post(arch.Cycles(10+i), r.m.MemCtrlID(0), arch.KindDRAMWrite, 0, cont,
+			va+64*uint64(i), 1, 2, 3)
+	}
+	r.eng.Post(20, r.m.MemCtrlID(0), arch.KindDRAMFetchAdd, 0, cont, va, 5)
+	r.eng.Post(21, r.m.MemCtrlID(0), arch.KindDRAMFetchAddF, 0, cont, va+8, udweave.FloatBits(1.5))
+	r.eng.Post(22, r.m.MemCtrlID(0), arch.KindDRAMFetchAddF, 0, cont, va+8, udweave.FloatBits(2.5))
+
+	stats, err := r.eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.DRAMReads != 3 {
+		t.Errorf("DRAMReads = %d, want 3", stats.DRAMReads)
+	}
+	// 2 writes + 1 fetch-add + 2 float fetch-adds, all read-modify-writes.
+	if stats.DRAMWrites != 5 {
+		t.Errorf("DRAMWrites = %d, want 5 (float fetch-adds must count)", stats.DRAMWrites)
+	}
+	// reads 3x2x8 + writes 2x3x8 + fetch-adds 3x16 (read-modify-write).
+	want := int64(3*2*8 + 2*3*8 + 3*16)
+	if stats.DRAMBytes != want {
+		t.Errorf("DRAMBytes = %d, want %d", stats.DRAMBytes, want)
+	}
+}
+
+// TestWriteWithoutAddressPanics is the regression test for the unvalidated
+// n = NOps-1 in the write path: a zero-operand write used to flow n = -1
+// and *negative* bytes into the accounting; it must panic like a malformed
+// read does.
+func TestWriteWithoutAddressPanics(t *testing.T) {
+	r := newRig(t, 1, 0)
+	r.eng.Post(0, r.m.MemCtrlID(0), arch.KindDRAMWrite, 0, udweave.IGNRCONT)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-operand DRAM write did not panic")
+		}
+	}()
+	r.eng.Run()
+}
+
+// TestAckOnlyWrite: a write carrying only the address is legal — it stores
+// nothing and accounts zero bytes, but still acknowledges.
+func TestAckOnlyWrite(t *testing.T) {
+	r := newRig(t, 1, 0)
+	va, _ := r.gas.DRAMmalloc(4096, 0, 1, 4096)
+	rec := &recorder{}
+	lane := r.m.LaneID(0, 0, 0)
+	r.eng.SetActor(lane, rec)
+	r.eng.Post(0, r.m.MemCtrlID(0), arch.KindDRAMWrite, 0, udweave.EvwExisting(lane, 0, 1), va)
+	stats, err := r.eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.times) != 1 {
+		t.Fatalf("%d acks, want 1", len(rec.times))
+	}
+	if stats.DRAMBytes != 0 {
+		t.Fatalf("DRAMBytes = %d for an ack-only write, want 0", stats.DRAMBytes)
+	}
+	if stats.DRAMWrites != 1 {
+		t.Fatalf("DRAMWrites = %d, want 1", stats.DRAMWrites)
+	}
+}
+
 // TestPerNodeBandwidthIndependent: two nodes' controllers serve their own
 // queues; traffic to node 0 does not delay node 1.
 func TestPerNodeBandwidthIndependent(t *testing.T) {

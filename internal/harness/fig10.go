@@ -25,6 +25,11 @@ type Fig10Options struct {
 	// Seed drives the CSV generator; Shards the host parallelism.
 	Seed   uint64
 	Shards int
+	// Profile enables the metrics recorder and the utilization columns.
+	Profile bool
+	// MaxTime bounds simulated cycles per configuration (0 = default);
+	// timed-out configurations become table notes, not sweep failures.
+	MaxTime arch.Cycles
 }
 
 // Fig10Ingestion regenerates Figure 10 / Table 11: TFORM+KVMSR ingestion
@@ -59,7 +64,12 @@ func Fig10Ingestion(opt Fig10Options) ([]*Table, error) {
 			MetricName: "MRec/s",
 		}
 		for _, nodes := range opt.Nodes {
-			m, err := updown.New(updown.Config{Nodes: nodes, Shards: opt.Shards, MaxTime: 1 << 44})
+			maxTime := opt.MaxTime
+			if maxTime == 0 {
+				maxTime = 1 << 44
+			}
+			m, err := updown.New(updown.Config{Nodes: nodes, Shards: opt.Shards,
+				MaxTime: maxTime, Metrics: metricsConfig(opt.Profile)})
 			if err != nil {
 				return nil, err
 			}
@@ -70,6 +80,9 @@ func Fig10Ingestion(opt Fig10Options) ([]*Table, error) {
 			wall := time.Now()
 			stats, err := app.Run()
 			if err != nil {
+				if noteTimeout(tb, fmt.Sprintf("nodes=%d", nodes), err) {
+					continue
+				}
 				return nil, fmt.Errorf("fig10 %gx nodes=%d: %w", mult, nodes, err)
 			}
 			hostRate := hostMevS(stats.Events, time.Since(wall))
@@ -77,13 +90,15 @@ func Fig10Ingestion(opt Fig10Options) ([]*Table, error) {
 				return nil, fmt.Errorf("fig10 %gx nodes=%d: parsed %d records, want %d", mult, nodes, app.Records, n)
 			}
 			sec := m.Seconds(app.Elapsed())
-			tb.Rows = append(tb.Rows, Row{
+			row := Row{
 				Label:    fmt.Sprintf("%d", nodes),
 				Cycles:   app.Elapsed(),
 				Seconds:  sec,
 				Metric:   float64(n) / sec / 1e6,
 				HostMevS: hostRate,
-			})
+			}
+			fillUtilization(&row, m)
+			tb.Rows = append(tb.Rows, row)
 		}
 		tb.FillSpeedups()
 		tb.Notes = append(tb.Notes, "record counts validated at every configuration")
@@ -103,6 +118,11 @@ type Fig11Options struct {
 	LaneCounts []int
 	Seed       uint64
 	Shards     int
+	// Profile enables the metrics recorder and the utilization columns.
+	Profile bool
+	// MaxTime bounds simulated cycles per configuration (0 = default);
+	// timed-out configurations become table notes, not sweep failures.
+	MaxTime arch.Cycles
 }
 
 // Fig11PartialMatch regenerates Figure 11 / Table 12: streaming query
@@ -140,7 +160,12 @@ func Fig11PartialMatch(opt Fig11Options) (*Table, error) {
 	var baseLat float64
 	for _, lanes := range opt.LaneCounts {
 		nodes := (lanes + 2047) / 2048
-		m, err := updown.New(updown.Config{Nodes: nodes, Shards: opt.Shards, MaxTime: 1 << 46})
+		maxTime := opt.MaxTime
+		if maxTime == 0 {
+			maxTime = 1 << 46
+		}
+		m, err := updown.New(updown.Config{Nodes: nodes, Shards: opt.Shards,
+			MaxTime: maxTime, Metrics: metricsConfig(opt.Profile)})
 		if err != nil {
 			return nil, err
 		}
@@ -154,6 +179,9 @@ func Fig11PartialMatch(opt Fig11Options) (*Table, error) {
 		wall := time.Now()
 		stats, err := app.Run()
 		if err != nil {
+			if noteTimeout(tb, fmt.Sprintf("lanes=%d", lanes), err) {
+				continue
+			}
 			return nil, fmt.Errorf("fig11 lanes=%d: %w", lanes, err)
 		}
 		hostRate := hostMevS(stats.Events, time.Since(wall))
@@ -164,14 +192,16 @@ func Fig11PartialMatch(opt Fig11Options) (*Table, error) {
 		if baseLat == 0 {
 			baseLat = lat
 		}
-		tb.Rows = append(tb.Rows, Row{
+		row := Row{
 			Label:    fmt.Sprintf("%d lanes", lanes),
 			Cycles:   arch.Cycles(lat),
 			Seconds:  lat / 2e9,
 			Speedup:  baseLat / lat,
 			Metric:   lat / 2e9 * 1e6,
 			HostMevS: hostRate,
-		})
+		}
+		fillUtilization(&row, m)
+		tb.Rows = append(tb.Rows, row)
 		_ = want
 	}
 	tb.Notes = append(tb.Notes,

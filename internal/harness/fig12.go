@@ -26,6 +26,13 @@ type Fig12Options struct {
 	DRAMBytesPerCycle int
 	Seed              uint64
 	Shards            int
+	// Profile enables the metrics recorder and the utilization columns —
+	// on this sweep the DRAM% column is the direct readout of the
+	// bandwidth knee the figure is about.
+	Profile bool
+	// MaxTime bounds simulated cycles per configuration (0 = default);
+	// timed-out configurations become table notes, not sweep failures.
+	MaxTime arch.Cycles
 }
 
 // Fig12Placement regenerates Figure 12: the performance impact of the
@@ -56,10 +63,15 @@ func Fig12Placement(opt Fig12Options) ([]*Table, error) {
 	prSplit := graph.SplitWith(g, graph.SplitOptions{MaxDeg: 64, Seed: graph.DefaultShuffleSeed, SpreadInEdges: true})
 	bfsSplit := graph.Split(g, 256)
 
+	maxTime := opt.MaxTime
+	if maxTime == 0 {
+		maxTime = 1 << 44
+	}
 	machine := func() (*updown.Machine, error) {
 		a := arch.DefaultMachine(opt.ComputeNodes)
 		a.DRAMBytesPerCycle = opt.DRAMBytesPerCycle
-		return updown.New(updown.Config{Arch: &a, Shards: opt.Shards, MaxTime: 1 << 44})
+		return updown.New(updown.Config{Arch: &a, Shards: opt.Shards,
+			MaxTime: maxTime, Metrics: metricsConfig(opt.Profile)})
 	}
 
 	prT := &Table{
@@ -83,17 +95,22 @@ func Fig12Placement(opt Fig12Options) ([]*Table, error) {
 		wall := time.Now()
 		stats, err := app.Run()
 		if err != nil {
+			if noteTimeout(prT, fmt.Sprintf("mem=%d", mem), err) {
+				continue
+			}
 			return nil, fmt.Errorf("fig12 pr mem=%d: %w", mem, err)
 		}
 		hostRate := hostMevS(stats.Events, time.Since(wall))
 		sec := m.Seconds(app.Elapsed())
-		prT.Rows = append(prT.Rows, Row{
+		row := Row{
 			Label:    fmt.Sprintf("mem=%d", mem),
 			Cycles:   app.Elapsed(),
 			Seconds:  sec,
 			Metric:   float64(g.NumEdges()) / sec / 1e9,
 			HostMevS: hostRate,
-		})
+		}
+		fillUtilization(&row, m)
+		prT.Rows = append(prT.Rows, row)
 	}
 	prT.FillSpeedups()
 
@@ -118,17 +135,22 @@ func Fig12Placement(opt Fig12Options) ([]*Table, error) {
 		wall := time.Now()
 		stats, err := app.Run()
 		if err != nil {
+			if noteTimeout(bfsT, fmt.Sprintf("mem=%d", mem), err) {
+				continue
+			}
 			return nil, fmt.Errorf("fig12 bfs mem=%d: %w", mem, err)
 		}
 		hostRate := hostMevS(stats.Events, time.Since(wall))
 		sec := m.Seconds(app.Elapsed())
-		bfsT.Rows = append(bfsT.Rows, Row{
+		row := Row{
 			Label:    fmt.Sprintf("mem=%d", mem),
 			Cycles:   app.Elapsed(),
 			Seconds:  sec,
 			Metric:   float64(app.Traversed) / sec / 1e9,
 			HostMevS: hostRate,
-		})
+		}
+		fillUtilization(&row, m)
+		bfsT.Rows = append(bfsT.Rows, row)
 	}
 	bfsT.FillSpeedups()
 	note := "per-node bandwidth reduced to keep the reduced-scale graph memory-bound, matching the paper's s28 operating point"

@@ -9,6 +9,7 @@ import (
 	"updown/internal/apps/bfs"
 	"updown/internal/apps/pagerank"
 	"updown/internal/apps/tc"
+	"updown/internal/arch"
 	"updown/internal/baseline"
 	"updown/internal/graph"
 )
@@ -30,6 +31,20 @@ type Fig9Options struct {
 	Iterations int
 	// Validate cross-checks every run against the host baseline.
 	Validate bool
+	// Profile enables the metrics recorder and fills the utilization
+	// columns (imbalance, DRAM%, inj%) of every row.
+	Profile bool
+	// MaxTime bounds simulated cycles per configuration (0 = the runner
+	// default). Configurations that exceed it are recorded as a table
+	// note and skipped instead of aborting the sweep.
+	MaxTime arch.Cycles
+}
+
+func (o *Fig9Options) maxTime() arch.Cycles {
+	if o.MaxTime != 0 {
+		return o.MaxTime
+	}
+	return 1 << 44
 }
 
 func (o *Fig9Options) defaults(scale int, presets []string) {
@@ -93,7 +108,8 @@ func Fig9PageRank(opt Fig9Options) ([]*Table, error) {
 			MetricName: "GUPS",
 		}
 		for _, nodes := range opt.Nodes {
-			m, err := updown.New(updown.Config{Nodes: nodes, Shards: opt.Shards, MaxTime: 1 << 44})
+			m, err := updown.New(updown.Config{Nodes: nodes, Shards: opt.Shards,
+				MaxTime: opt.maxTime(), Metrics: metricsConfig(opt.Profile)})
 			if err != nil {
 				return nil, err
 			}
@@ -109,6 +125,9 @@ func Fig9PageRank(opt Fig9Options) ([]*Table, error) {
 			wall := time.Now()
 			stats, err := app.Run()
 			if err != nil {
+				if noteTimeout(tb, fmt.Sprintf("nodes=%d", nodes), err) {
+					continue
+				}
 				return nil, fmt.Errorf("fig9 pr %s nodes=%d: %w", name, nodes, err)
 			}
 			hostRate := hostMevS(stats.Events, time.Since(wall))
@@ -118,13 +137,15 @@ func Fig9PageRank(opt Fig9Options) ([]*Table, error) {
 				}
 			}
 			sec := m.Seconds(app.Elapsed())
-			tb.Rows = append(tb.Rows, Row{
+			row := Row{
 				Label:    fmt.Sprintf("%d", nodes),
 				Cycles:   app.Elapsed(),
 				Seconds:  sec,
 				Metric:   float64(g.NumEdges()) * float64(opt.Iterations) / sec / 1e9,
 				HostMevS: hostRate,
-			})
+			}
+			fillUtilization(&row, m)
+			tb.Rows = append(tb.Rows, row)
 		}
 		tb.FillSpeedups()
 		if opt.Validate {
@@ -171,7 +192,8 @@ func Fig9BFS(opt Fig9Options) ([]*Table, error) {
 			MetricName: "GTEPS",
 		}
 		for _, nodes := range opt.Nodes {
-			m, err := updown.New(updown.Config{Nodes: nodes, Shards: opt.Shards, MaxTime: 1 << 44})
+			m, err := updown.New(updown.Config{Nodes: nodes, Shards: opt.Shards,
+				MaxTime: opt.maxTime(), Metrics: metricsConfig(opt.Profile)})
 			if err != nil {
 				return nil, err
 			}
@@ -187,6 +209,9 @@ func Fig9BFS(opt Fig9Options) ([]*Table, error) {
 			wall := time.Now()
 			stats, err := app.Run()
 			if err != nil {
+				if noteTimeout(tb, fmt.Sprintf("nodes=%d", nodes), err) {
+					continue
+				}
 				return nil, fmt.Errorf("fig9 bfs %s nodes=%d: %w", name, nodes, err)
 			}
 			hostRate := hostMevS(stats.Events, time.Since(wall))
@@ -196,13 +221,15 @@ func Fig9BFS(opt Fig9Options) ([]*Table, error) {
 				}
 			}
 			sec := m.Seconds(app.Elapsed())
-			tb.Rows = append(tb.Rows, Row{
+			row := Row{
 				Label:    fmt.Sprintf("%d", nodes),
 				Cycles:   app.Elapsed(),
 				Seconds:  sec,
 				Metric:   float64(app.Traversed) / sec / 1e9,
 				HostMevS: hostRate,
-			})
+			}
+			fillUtilization(&row, m)
+			tb.Rows = append(tb.Rows, row)
 		}
 		tb.FillSpeedups()
 		if opt.Validate {
@@ -246,7 +273,8 @@ func Fig9TC(opt Fig9Options) ([]*Table, error) {
 			MetricName: "Mops/s",
 		}
 		for _, nodes := range opt.Nodes {
-			m, err := updown.New(updown.Config{Nodes: nodes, Shards: opt.Shards, MaxTime: 1 << 44})
+			m, err := updown.New(updown.Config{Nodes: nodes, Shards: opt.Shards,
+				MaxTime: opt.maxTime(), Metrics: metricsConfig(opt.Profile)})
 			if err != nil {
 				return nil, err
 			}
@@ -261,6 +289,9 @@ func Fig9TC(opt Fig9Options) ([]*Table, error) {
 			wall := time.Now()
 			stats, err := app.Run()
 			if err != nil {
+				if noteTimeout(tb, fmt.Sprintf("nodes=%d", nodes), err) {
+					continue
+				}
 				return nil, fmt.Errorf("fig9 tc %s nodes=%d: %w", name, nodes, err)
 			}
 			hostRate := hostMevS(stats.Events, time.Since(wall))
@@ -268,13 +299,15 @@ func Fig9TC(opt Fig9Options) ([]*Table, error) {
 				return nil, fmt.Errorf("fig9 tc %s nodes=%d: total %d, baseline %d", name, nodes, app.Total(), want)
 			}
 			sec := m.Seconds(app.Elapsed())
-			tb.Rows = append(tb.Rows, Row{
+			row := Row{
 				Label:    fmt.Sprintf("%d", nodes),
 				Cycles:   app.Elapsed(),
 				Seconds:  sec,
 				Metric:   float64(app.Total()) / sec / 1e6,
 				HostMevS: hostRate,
-			})
+			}
+			fillUtilization(&row, m)
+			tb.Rows = append(tb.Rows, row)
 		}
 		tb.FillSpeedups()
 		if opt.Validate {

@@ -12,12 +12,17 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
+	"updown"
 	"updown/internal/arch"
+	"updown/internal/metrics"
+	"updown/internal/sim"
 )
 
 // Row is one machine configuration's measurement.
@@ -37,6 +42,35 @@ type Row struct {
 	// millions of simulated events executed per wall-clock second. It
 	// measures the simulator, not the simulated machine.
 	HostMevS float64
+	// Imbalance, DRAMUtil and InjUtil are utilization figures from the
+	// metrics recorder, filled only when the sweep runs with profiling
+	// enabled: peak-node busy cycles over the mean across touched nodes,
+	// peak per-node DRAM bandwidth utilization, and peak per-node
+	// injection-port utilization.
+	Imbalance float64
+	DRAMUtil  float64
+	InjUtil   float64
+}
+
+// metricsConfig returns the recorder options for a sweep row: nil unless
+// profiling was requested.
+func metricsConfig(profile bool) *metrics.Options {
+	if !profile {
+		return nil
+	}
+	return &metrics.Options{}
+}
+
+// fillUtilization populates r's utilization columns from m's recorder
+// after a run; it is a no-op when the machine was built without metrics.
+func fillUtilization(r *Row, m *updown.Machine) {
+	if m.Metrics == nil {
+		return
+	}
+	s := m.Metrics.Profile().Summarize(m.Arch)
+	r.Imbalance = s.Imbalance
+	r.DRAMUtil = s.DRAMUtil
+	r.InjUtil = s.InjUtil
 }
 
 // hostMevS converts an event count and a wall-clock duration into the
@@ -46,6 +80,19 @@ func hostMevS(events int64, wall time.Duration) float64 {
 		return 0
 	}
 	return float64(events) / wall.Seconds() / 1e6
+}
+
+// noteTimeout reports whether err is a simulation timeout and, when it is,
+// records the configuration as a table note so the sweep can continue with
+// its remaining rows instead of aborting. One livelocked configuration
+// (usually the smallest machine at an overlarge scale) should not cost the
+// whole table.
+func noteTimeout(tb *Table, label string, err error) bool {
+	if !errors.Is(err, sim.ErrTimeout) {
+		return false
+	}
+	tb.Notes = append(tb.Notes, fmt.Sprintf("%s skipped: %v", label, err))
+	return true
 }
 
 // Table is one series of one figure.
@@ -75,14 +122,34 @@ func (t *Table) FillSpeedups() {
 	}
 }
 
+// profiled reports whether any row carries utilization columns, which are
+// then included in the rendered tables.
+func (t *Table) profiled() bool {
+	for _, r := range t.Rows {
+		if r.Imbalance != 0 || r.DRAMUtil != 0 || r.InjUtil != 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // Format renders the table as aligned text.
 func (t *Table) Format() string {
+	prof := t.profiled()
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s — %s\n", t.Title, t.Workload)
-	fmt.Fprintf(&b, "%-12s %14s %12s %10s %16s %12s\n", "config", "cycles", "seconds", "speedup", t.MetricName, "host-Mev/s")
+	fmt.Fprintf(&b, "%-12s %14s %12s %10s %16s %12s", "config", "cycles", "seconds", "speedup", t.MetricName, "host-Mev/s")
+	if prof {
+		fmt.Fprintf(&b, " %8s %8s %8s", "imbal", "dram%", "inj%")
+	}
+	b.WriteByte('\n')
 	for _, r := range t.Rows {
-		fmt.Fprintf(&b, "%-12s %14d %12.6f %10.2f %16.4g %12.3f\n",
+		fmt.Fprintf(&b, "%-12s %14d %12.6f %10.2f %16.4g %12.3f",
 			r.Label, r.Cycles, r.Seconds, r.Speedup, r.Metric, r.HostMevS)
+		if prof {
+			fmt.Fprintf(&b, " %8.2f %8.1f %8.1f", r.Imbalance, 100*r.DRAMUtil, 100*r.InjUtil)
+		}
+		b.WriteByte('\n')
 	}
 	for _, n := range t.Notes {
 		fmt.Fprintf(&b, "  note: %s\n", n)
@@ -92,12 +159,23 @@ func (t *Table) Format() string {
 
 // Markdown renders the table as a GitHub table (EXPERIMENTS.md).
 func (t *Table) Markdown() string {
+	prof := t.profiled()
 	var b strings.Builder
 	fmt.Fprintf(&b, "**%s — %s**\n\n", t.Title, t.Workload)
-	fmt.Fprintf(&b, "| config | cycles | seconds | speedup | %s | host-Mev/s |\n|---|---|---|---|---|---|\n", t.MetricName)
+	fmt.Fprintf(&b, "| config | cycles | seconds | speedup | %s | host-Mev/s |", t.MetricName)
+	sep := "\n|---|---|---|---|---|---|"
+	if prof {
+		b.WriteString(" imbal | dram% | inj% |")
+		sep += "---|---|---|"
+	}
+	b.WriteString(sep + "\n")
 	for _, r := range t.Rows {
-		fmt.Fprintf(&b, "| %s | %d | %.6f | %.2f | %.4g | %.3f |\n",
+		fmt.Fprintf(&b, "| %s | %d | %.6f | %.2f | %.4g | %.3f |",
 			r.Label, r.Cycles, r.Seconds, r.Speedup, r.Metric, r.HostMevS)
+		if prof {
+			fmt.Fprintf(&b, " %.2f | %.1f | %.1f |", r.Imbalance, 100*r.DRAMUtil, 100*r.InjUtil)
+		}
+		b.WriteByte('\n')
 	}
 	for _, n := range t.Notes {
 		fmt.Fprintf(&b, "\n*note: %s*\n", n)
@@ -106,7 +184,11 @@ func (t *Table) Markdown() string {
 	return b.String()
 }
 
-// ParseNodeList parses "1,2,4,8" sweep flags.
+// ParseNodeList parses "1,2,4,8" sweep flags. Entries must be whole
+// positive integers — strconv.Atoi, not Sscanf, so trailing garbage like
+// "8x" is rejected instead of silently parsing as 8. The result is sorted
+// and deduplicated (a repeated entry would just re-run an identical
+// configuration).
 func ParseNodeList(s string) ([]int, error) {
 	var out []int
 	for _, f := range strings.Split(s, ",") {
@@ -114,8 +196,8 @@ func ParseNodeList(s string) ([]int, error) {
 		if f == "" {
 			continue
 		}
-		var n int
-		if _, err := fmt.Sscanf(f, "%d", &n); err != nil || n <= 0 {
+		n, err := strconv.Atoi(f)
+		if err != nil || n <= 0 {
 			return nil, fmt.Errorf("harness: bad node list entry %q", f)
 		}
 		out = append(out, n)
@@ -124,5 +206,11 @@ func ParseNodeList(s string) ([]int, error) {
 		return nil, fmt.Errorf("harness: empty node list")
 	}
 	sort.Ints(out)
-	return out, nil
+	dedup := out[:1]
+	for _, n := range out[1:] {
+		if n != dedup[len(dedup)-1] {
+			dedup = append(dedup, n)
+		}
+	}
+	return dedup, nil
 }

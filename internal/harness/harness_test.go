@@ -130,17 +130,105 @@ func TestFillSpeedups(t *testing.T) {
 }
 
 func TestParseNodeList(t *testing.T) {
-	got, err := ParseNodeList("4, 1,2")
-	if err != nil || len(got) != 3 || got[0] != 1 || got[2] != 4 {
-		t.Fatalf("%v %v", got, err)
+	tests := []struct {
+		in   string
+		want []int
+		ok   bool
+	}{
+		{"4, 1,2", []int{1, 2, 4}, true},
+		{"8", []int{8}, true},
+		{" 1 ,\t2 ", []int{1, 2}, true},     // whitespace trimmed
+		{"1,,2,", []int{1, 2}, true},        // empty fields skipped
+		{"4,1,4,2,1", []int{1, 2, 4}, true}, // duplicates removed
+		{"", nil, false},
+		{",,", nil, false},
+		{"a,b", nil, false},
+		{"8x", nil, false}, // Sscanf used to accept this as 8
+		{"1 2", nil, false},
+		{"2,3x4", nil, false},
+		{"0", nil, false},
+		{"-4", nil, false},
+		{"4.5", nil, false},
+		{"0x10", nil, false},
 	}
-	if _, err := ParseNodeList(""); err == nil {
-		t.Fatal("empty accepted")
+	for _, tc := range tests {
+		got, err := ParseNodeList(tc.in)
+		if !tc.ok {
+			if err == nil {
+				t.Errorf("ParseNodeList(%q) = %v, want error", tc.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseNodeList(%q): %v", tc.in, err)
+			continue
+		}
+		if len(got) != len(tc.want) {
+			t.Errorf("ParseNodeList(%q) = %v, want %v", tc.in, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("ParseNodeList(%q) = %v, want %v", tc.in, got, tc.want)
+				break
+			}
+		}
 	}
-	if _, err := ParseNodeList("a,b"); err == nil {
-		t.Fatal("garbage accepted")
+}
+
+// TestTimeoutBecomesNote: a configuration that exceeds MaxTime must be
+// recorded as a table note, not abort the sweep — the remaining rows (none
+// of which can complete either at 100 cycles) still get their turn and the
+// runner returns without error.
+func TestTimeoutBecomesNote(t *testing.T) {
+	tables, err := Fig9PageRank(Fig9Options{
+		Scale: 9, Nodes: []int{1, 2}, Presets: []string{"rmat"},
+		Shards: 1, MaxTime: 100,
+	})
+	if err != nil {
+		t.Fatalf("sweep aborted on timeout: %v", err)
 	}
-	if _, err := ParseNodeList("0"); err == nil {
-		t.Fatal("zero accepted")
+	tb := tables[0]
+	if len(tb.Rows) != 0 {
+		t.Fatalf("expected no completed rows at MaxTime=100, got %d", len(tb.Rows))
+	}
+	if len(tb.Notes) != 2 {
+		t.Fatalf("expected one note per timed-out configuration, got %v", tb.Notes)
+	}
+	for i, want := range []string{"nodes=1", "nodes=2"} {
+		if !strings.Contains(tb.Notes[i], want) || !strings.Contains(tb.Notes[i], "MaxTime") {
+			t.Errorf("note %d = %q, want it to name %s and the timeout", i, tb.Notes[i], want)
+		}
+	}
+}
+
+// TestProfiledSweepFillsUtilization: with Profile set, every completed row
+// carries imbalance and utilization figures and the rendered tables grow
+// the corresponding columns.
+func TestProfiledSweepFillsUtilization(t *testing.T) {
+	tables, err := Fig9PageRank(Fig9Options{
+		Scale: 9, Nodes: []int{2}, Presets: []string{"rmat"},
+		Shards: 1, Profile: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := tables[0].Rows[0]
+	if r.Imbalance < 1 {
+		t.Errorf("imbalance = %v, want >= 1 (peak/mean)", r.Imbalance)
+	}
+	if r.DRAMUtil <= 0 || r.DRAMUtil > 1 {
+		t.Errorf("DRAM utilization = %v, want (0, 1]", r.DRAMUtil)
+	}
+	if r.InjUtil < 0 || r.InjUtil > 1 {
+		t.Errorf("injection utilization = %v, want [0, 1]", r.InjUtil)
+	}
+	txt := tables[0].Format()
+	if !strings.Contains(txt, "imbal") || !strings.Contains(txt, "dram%") {
+		t.Errorf("profiled table missing utilization columns:\n%s", txt)
+	}
+	md := tables[0].Markdown()
+	if !strings.Contains(md, "imbal |") {
+		t.Errorf("profiled markdown missing utilization columns:\n%s", md)
 	}
 }

@@ -1,0 +1,384 @@
+// Package metrics is the opt-in observability layer of the simulator: it
+// turns the engine's run-level aggregates (sim.Stats) into per-node time
+// series and per-message-kind breakdowns, which is what bottleneck
+// attribution needs — the paper's scaling knees are DRAM-bandwidth,
+// injection-port and lane-occupancy stories, none of which are visible in
+// an end-to-end cycle count.
+//
+// A Recorder buckets observations into fixed-width cycle intervals. The
+// engine reports three observation streams through per-shard views
+// (ShardView): executed events (busy cycles, wait-queue depth), network
+// sends (injection-port backlog), and DRAM services (bytes, controller
+// backlog). Each simulated node is owned by exactly one engine shard and
+// every observation is attributed to a node, so shard views write disjoint
+// rows of the same table without locks — and because the engine's
+// execution order per node is bit-identical at every shard count, the
+// recorded series are too. Only the per-kind totals are kept per shard and
+// summed at Profile time (integer sums, order-independent), so Profile
+// output is byte-identical across shard counts.
+//
+// When no Recorder is installed the engine hooks are single nil-checks;
+// see the acceptance bound in engine_bench_test.go.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"updown/internal/arch"
+)
+
+// DefaultInterval is the sampling bucket width used when Options.Interval
+// is zero: 8192 cycles = 4.1 us at the 2 GHz default clock, a few hundred
+// buckets for the reduced-scale harness runs.
+const DefaultInterval arch.Cycles = 8192
+
+// nKinds is the size of the per-message-kind tables: the arch.Kind*
+// constants plus one overflow bucket for unknown kinds from custom actors.
+const nKinds = 8
+
+// kindOther is the overflow bucket index.
+const kindOther = nKinds - 1
+
+// Options configures a Recorder.
+type Options struct {
+	// Interval is the sampling bucket width in cycles; 0 selects
+	// DefaultInterval. Small intervals on long runs cost memory:
+	// one Sample (64 bytes) per interval per touched node.
+	Interval arch.Cycles
+}
+
+// Sample is one node's activity within one bucket of Interval cycles.
+// Counts are attributed to the bucket containing the observation's start
+// cycle (an event charging across a bucket boundary is not split).
+type Sample struct {
+	// Busy is the sum of cycles charged by events starting in this bucket.
+	Busy int64
+	// Events is the number of events executed.
+	Events int64
+	// Sends is the number of messages injected (all destinations).
+	Sends int64
+	// XSends is the subset of Sends that crossed nodes and therefore
+	// serialized through the node's injection port.
+	XSends int64
+	// DRAMBytes is the memory traffic served by the node's controller.
+	DRAMBytes int64
+	// DRAMBacklog64 is the maximum bandwidth backlog observed at the
+	// node's DRAM controller, in 1/64-cycle units (the controller's
+	// busy-until horizon minus current time at each service).
+	DRAMBacklog64 int64
+	// InjBacklog64 is the maximum injection-port backlog observed, in
+	// 1/64-cycle units.
+	InjBacklog64 int64
+	// MaxWaitq is the deepest actor wait queue observed on the node.
+	MaxWaitq int64
+}
+
+// NodeSeries is the bucketed time series of one node.
+type NodeSeries struct {
+	// Node is the node index.
+	Node int
+	// Samples is indexed by bucket (cycle / Interval). Trailing buckets a
+	// node never touched are absent.
+	Samples []Sample
+}
+
+// Touched reports whether the node recorded any activity.
+func (s *NodeSeries) Touched() bool { return len(s.Samples) > 0 }
+
+// Totals sums the series.
+func (s *NodeSeries) Totals() Sample {
+	var t Sample
+	for i := range s.Samples {
+		b := &s.Samples[i]
+		t.Busy += b.Busy
+		t.Events += b.Events
+		t.Sends += b.Sends
+		t.XSends += b.XSends
+		t.DRAMBytes += b.DRAMBytes
+		if b.DRAMBacklog64 > t.DRAMBacklog64 {
+			t.DRAMBacklog64 = b.DRAMBacklog64
+		}
+		if b.InjBacklog64 > t.InjBacklog64 {
+			t.InjBacklog64 = b.InjBacklog64
+		}
+		if b.MaxWaitq > t.MaxWaitq {
+			t.MaxWaitq = b.MaxWaitq
+		}
+	}
+	return t
+}
+
+// KindStat is the cycle/count breakdown for one message kind.
+type KindStat struct {
+	Count  int64
+	Cycles int64
+}
+
+// Recorder accumulates observations for one engine. Install it via
+// sim.Options.Metrics (or updown.Config.Metrics); it may observe several
+// consecutive Run calls and accumulates across them.
+type Recorder struct {
+	interval  arch.Cycles
+	nodes     []NodeSeries
+	views     []*ShardView
+	finalTime arch.Cycles
+}
+
+// New builds a recorder for a machine with the given node count.
+func New(nodes int, opts Options) *Recorder {
+	iv := opts.Interval
+	if iv <= 0 {
+		iv = DefaultInterval
+	}
+	r := &Recorder{interval: iv, nodes: make([]NodeSeries, nodes)}
+	for i := range r.nodes {
+		r.nodes[i].Node = i
+	}
+	return r
+}
+
+// Interval returns the sampling bucket width.
+func (r *Recorder) Interval() arch.Cycles { return r.interval }
+
+// NumNodes returns the node count the recorder was built for.
+func (r *Recorder) NumNodes() int { return len(r.nodes) }
+
+// Shard returns the view engine shard i reports through. The engine calls
+// it at Run setup; views persist across Runs so multi-phase drivers
+// accumulate one profile. Not safe for concurrent first-time creation —
+// the engine materializes all views before starting its workers.
+func (r *Recorder) Shard(i int) *ShardView {
+	for len(r.views) <= i {
+		r.views = append(r.views, &ShardView{r: r})
+	}
+	return r.views[i]
+}
+
+// ObserveFinalTime records the run's completion time; the engine calls it
+// after every Run with the accumulated final time.
+func (r *Recorder) ObserveFinalTime(t arch.Cycles) {
+	if t > r.finalTime {
+		r.finalTime = t
+	}
+}
+
+// ShardView is the per-engine-shard write interface. A view writes only to
+// nodes its shard owns, which makes the recorder race-free without locks.
+type ShardView struct {
+	r     *Recorder
+	kinds [nKinds]KindStat
+}
+
+// sample returns the bucket for (node, at), growing the node's series.
+func (v *ShardView) sample(node int32, at arch.Cycles) *Sample {
+	s := &v.r.nodes[node]
+	b := int(at / v.r.interval)
+	for len(s.Samples) <= b {
+		s.Samples = append(s.Samples, Sample{})
+	}
+	return &s.Samples[b]
+}
+
+// Event records one executed message: kind, start cycle, charged cycles,
+// and the destination actor's wait-queue depth after execution.
+func (v *ShardView) Event(node int32, kind uint8, start, charged arch.Cycles, waitq int) {
+	k := int(kind)
+	if k >= nKinds {
+		k = kindOther
+	}
+	v.kinds[k].Count++
+	v.kinds[k].Cycles += int64(charged)
+	b := v.sample(node, start)
+	b.Events++
+	b.Busy += int64(charged)
+	if int64(waitq) > b.MaxWaitq {
+		b.MaxWaitq = int64(waitq)
+	}
+}
+
+// Send records one message injection from a node. backlog64 is the
+// injection-port occupancy beyond the current cycle (1/64-cycle units);
+// it is zero for intra-node sends, which bypass the port.
+func (v *ShardView) Send(node int32, cross bool, backlog64 int64, at arch.Cycles) {
+	b := v.sample(node, at)
+	b.Sends++
+	if cross {
+		b.XSends++
+		if backlog64 > b.InjBacklog64 {
+			b.InjBacklog64 = backlog64
+		}
+	}
+}
+
+// DRAM records one memory service at a node's controller: bytes moved and
+// the controller's bandwidth backlog beyond the current cycle.
+func (v *ShardView) DRAM(node int32, bytes, backlog64 int64, at arch.Cycles) {
+	b := v.sample(node, at)
+	b.DRAMBytes += bytes
+	if backlog64 > b.DRAMBacklog64 {
+		b.DRAMBacklog64 = backlog64
+	}
+}
+
+// Profile is the merged, read-only result of a recorded run.
+type Profile struct {
+	// Interval is the sampling bucket width in cycles.
+	Interval arch.Cycles
+	// FinalTime is the simulated completion time.
+	FinalTime arch.Cycles
+	// Nodes holds one series per node, indexed by node.
+	Nodes []NodeSeries
+	// Kinds is the per-message-kind breakdown, indexed by the arch.Kind*
+	// constants; index 7 collects unknown kinds.
+	Kinds [nKinds]KindStat
+}
+
+// Profile merges the shard views into a deterministic snapshot. The node
+// series are shared with the recorder, not copied; take the profile after
+// the run, not during it.
+func (r *Recorder) Profile() *Profile {
+	p := &Profile{Interval: r.interval, FinalTime: r.finalTime, Nodes: r.nodes}
+	for _, v := range r.views {
+		for k := range v.kinds {
+			p.Kinds[k].Count += v.kinds[k].Count
+			p.Kinds[k].Cycles += v.kinds[k].Cycles
+		}
+	}
+	return p
+}
+
+// KindName names a per-kind table row.
+func KindName(k int) string {
+	switch uint8(k) {
+	case arch.KindEvent:
+		return "event"
+	case arch.KindDRAMRead:
+		return "dram-read"
+	case arch.KindDRAMWrite:
+		return "dram-write"
+	case arch.KindDRAMFetchAdd:
+		return "dram-fadd"
+	case arch.KindDRAMFetchAddF:
+		return "dram-faddf"
+	case arch.KindControl:
+		return "control"
+	default:
+		return fmt.Sprintf("kind-%d", k)
+	}
+}
+
+// Summary condenses a profile into the machine-utilization figures the
+// harness tables report.
+type Summary struct {
+	// FinalTime is the simulated completion time.
+	FinalTime arch.Cycles
+	// NodesTouched is the number of nodes with any recorded activity.
+	NodesTouched int
+	// PeakBusyNode is the node with the most busy cycles.
+	PeakBusyNode int
+	// Imbalance is peak-node busy cycles over the mean across touched
+	// nodes: 1.0 is perfectly balanced, N means one node did N times the
+	// average work. Zero when nothing ran.
+	Imbalance float64
+	// DRAMUtil is the peak per-node DRAM bandwidth utilization over the
+	// whole run: bytes served at the busiest controller divided by
+	// FinalTime x DRAMBytesPerCycle.
+	DRAMUtil float64
+	// InjUtil is the peak per-node injection-port utilization: cycles the
+	// busiest port spent serializing cross-node messages divided by
+	// FinalTime.
+	InjUtil float64
+}
+
+// Summarize computes the run summary under machine m's bandwidth and
+// message parameters.
+func (p *Profile) Summarize(m arch.Machine) Summary {
+	s := Summary{FinalTime: p.FinalTime}
+	if p.FinalTime <= 0 {
+		return s
+	}
+	// Injection transfer time per cross-node message in 1/64-cycle units,
+	// mirroring the engine's port model (minimum one unit).
+	xfer64 := int64(64*m.MsgBytes) / int64(m.InjectBytesPerCycle)
+	if xfer64 < 1 {
+		xfer64 = 1
+	}
+	var busySum, peakBusy, peakBytes, peakXSends int64
+	for i := range p.Nodes {
+		n := &p.Nodes[i]
+		if !n.Touched() {
+			continue
+		}
+		t := n.Totals()
+		s.NodesTouched++
+		busySum += t.Busy
+		if t.Busy > peakBusy {
+			peakBusy = t.Busy
+			s.PeakBusyNode = n.Node
+		}
+		if t.DRAMBytes > peakBytes {
+			peakBytes = t.DRAMBytes
+		}
+		if t.XSends > peakXSends {
+			peakXSends = t.XSends
+		}
+	}
+	if s.NodesTouched > 0 && busySum > 0 {
+		s.Imbalance = float64(peakBusy) * float64(s.NodesTouched) / float64(busySum)
+	}
+	ft := float64(p.FinalTime)
+	s.DRAMUtil = float64(peakBytes) / (ft * float64(m.DRAMBytesPerCycle))
+	s.InjUtil = float64(peakXSends*xfer64) / (ft * 64)
+	return s
+}
+
+// WriteText renders the profile as a deterministic human-readable report:
+// per-kind breakdown plus a per-node totals table sorted by busy cycles.
+// The determinism tests compare this output byte-for-byte across shard
+// counts.
+func (p *Profile) WriteText(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "profile: interval=%d cycles, final=%d cycles\n", p.Interval, p.FinalTime)
+	fmt.Fprintf(&b, "%-12s %12s %14s\n", "kind", "count", "cycles")
+	for k := range p.Kinds {
+		if p.Kinds[k].Count == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%-12s %12d %14d\n", KindName(k), p.Kinds[k].Count, p.Kinds[k].Cycles)
+	}
+	type row struct {
+		node int
+		t    Sample
+	}
+	var rows []row
+	for i := range p.Nodes {
+		if p.Nodes[i].Touched() {
+			rows = append(rows, row{p.Nodes[i].Node, p.Nodes[i].Totals()})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].t.Busy != rows[j].t.Busy {
+			return rows[i].t.Busy > rows[j].t.Busy
+		}
+		return rows[i].node < rows[j].node
+	})
+	fmt.Fprintf(&b, "%-6s %12s %10s %10s %10s %14s %10s %8s\n",
+		"node", "busy", "events", "sends", "xsends", "dram-bytes", "backlog", "waitq")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-6d %12d %10d %10d %10d %14d %10d %8d\n",
+			r.node, r.t.Busy, r.t.Events, r.t.Sends, r.t.XSends,
+			r.t.DRAMBytes, r.t.DRAMBacklog64/64, r.t.MaxWaitq)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String is WriteText into a string.
+func (p *Profile) String() string {
+	var b strings.Builder
+	p.WriteText(&b)
+	return b.String()
+}

@@ -22,6 +22,7 @@ import (
 	"runtime"
 
 	"updown/internal/arch"
+	"updown/internal/metrics"
 )
 
 // Actor is a simulated hardware unit addressed by a NetworkID.
@@ -49,6 +50,11 @@ type Options struct {
 	LaneFactory func(id arch.NetworkID) Actor
 	// MaxTime bounds simulated time; zero means 2^62 cycles.
 	MaxTime arch.Cycles
+	// Metrics, when non-nil, receives per-node time series and per-kind
+	// breakdowns (see internal/metrics). It must be built for the same
+	// node count as the machine. Nil disables all recording; the engine
+	// hooks then cost one nil-check per event/send/DRAM service.
+	Metrics *metrics.Recorder
 }
 
 // Stats aggregates measurements across a Run.
@@ -151,6 +157,9 @@ type Engine struct {
 	lanesPerAccel int
 	injXfer64     int64
 
+	// rec is the installed metrics recorder, nil when disabled.
+	rec *metrics.Recorder
+
 	hostID  arch.NetworkID
 	hostSeq uint64
 	// running is true while Run is executing; Post and Run check it so
@@ -176,6 +185,9 @@ type shard struct {
 	// reduction at the barrier.
 	outMin arch.Cycles
 	stats  Stats
+	// rec is this shard's metrics view, nil when recording is disabled.
+	// Each shard writes only the nodes it owns, so views need no locks.
+	rec *metrics.ShardView
 }
 
 // NewEngine builds an engine for machine m.
@@ -197,6 +209,10 @@ func NewEngine(m arch.Machine, opts Options) (*Engine, error) {
 	if maxTime <= 0 {
 		maxTime = 1 << 62
 	}
+	if opts.Metrics != nil && opts.Metrics.NumNodes() != m.Nodes {
+		return nil, fmt.Errorf("sim: metrics recorder built for %d nodes, machine has %d",
+			opts.Metrics.NumNodes(), m.Nodes)
+	}
 	e := &Engine{
 		M:         m,
 		actors:    make([]Actor, m.TotalActors()),
@@ -207,6 +223,7 @@ func NewEngine(m arch.Machine, opts Options) (*Engine, error) {
 		maxTime:   maxTime,
 		factory:   opts.LaneFactory,
 		nodeShard: make([]int32, m.Nodes),
+		rec:       opts.Metrics,
 	}
 	for node := 0; node < m.Nodes; node++ {
 		e.nodeShard[node] = int32(node * n / m.Nodes)
@@ -224,6 +241,9 @@ func NewEngine(m arch.Machine, opts Options) (*Engine, error) {
 	e.shards = make([]*shard, n)
 	for i := range e.shards {
 		s := &shard{e: e, idx: i, outMin: math.MaxInt64}
+		if opts.Metrics != nil {
+			s.rec = opts.Metrics.Shard(i)
+		}
 		if n > 1 {
 			for p := 0; p < 2; p++ {
 				s.outbox[p] = make([][]Message, n)
@@ -330,6 +350,9 @@ func (e *Engine) Run() (Stats, error) {
 			total.LanesTouched++
 		}
 	}
+	if e.rec != nil {
+		e.rec.ObserveFinalTime(total.FinalTime)
+	}
 	if timedOut {
 		return total, fmt.Errorf("%w (MaxTime=%d)", ErrTimeout, e.maxTime)
 	}
@@ -405,8 +428,14 @@ func (s *shard) processWindow(horizon arch.Cycles) {
 		switch m.Kind {
 		case arch.KindDRAMRead:
 			s.stats.DRAMReads++
-		case arch.KindDRAMWrite, arch.KindDRAMFetchAdd:
+		case arch.KindDRAMWrite, arch.KindDRAMFetchAdd, arch.KindDRAMFetchAddF:
+			// Fetch-adds (both integer and float) are read-modify-writes;
+			// they count as writes, so PageRank's float accumulation path
+			// is visible in Stats.DRAMWrites.
 			s.stats.DRAMWrites++
+		}
+		if s.rec != nil {
+			s.rec.Event(e.nodeOfID[m.Dst], m.Kind, m.Deliver, env.charged, st.waitqLen())
 		}
 		if st.waitqLen() > 0 {
 			// Release the next parked message at the actor's new
@@ -491,7 +520,9 @@ func (v *Env) sendAt(t, extra arch.Cycles, dst arch.NetworkID, kind uint8, event
 	srcNode := int(e.nodeOfID[v.self])
 	dstNode := int(e.nodeOfID[dst])
 	entry := t + extra
-	if srcNode != dstNode {
+	cross := srcNode != dstNode
+	var injBacklog64 int64
+	if cross {
 		// Serialize through the node's injection port (4 TB/s).
 		busy := &e.injBusy64[srcNode]
 		t64 := int64(entry) * 64
@@ -499,6 +530,7 @@ func (v *Env) sendAt(t, extra arch.Cycles, dst arch.NetworkID, kind uint8, event
 			*busy = t64
 		}
 		*busy += e.injXfer64
+		injBacklog64 = *busy - t64
 		entry = arch.Cycles((*busy + 63) / 64)
 	}
 	// Latency class, mirroring arch.Machine.Latency but with the node
@@ -507,7 +539,7 @@ func (v *Env) sendAt(t, extra arch.Cycles, dst arch.NetworkID, kind uint8, event
 	switch {
 	case v.self == dst:
 		lat = e.M.LatSameLane
-	case srcNode != dstNode:
+	case cross:
 		lat = e.M.LatCrossNode
 	case int(v.self) < e.totalLanes && int(dst) < e.totalLanes &&
 		int(v.self)/e.lanesPerAccel == int(dst)/e.lanesPerAccel:
@@ -522,6 +554,9 @@ func (v *Env) sendAt(t, extra arch.Cycles, dst arch.NetworkID, kind uint8, event
 	copy(m.Ops[:], ops)
 	s := v.shard
 	s.stats.Sends++
+	if s.rec != nil {
+		s.rec.Send(int32(srcNode), cross, injBacklog64, t)
+	}
 	dstShard := int(e.nodeShard[dstNode])
 	if dstShard == s.idx {
 		s.heap.push(m)
@@ -535,4 +570,19 @@ func (v *Env) sendAt(t, extra arch.Cycles, dst arch.NetworkID, kind uint8, event
 
 // AddDRAMBytes accounts memory traffic in the run statistics; it is called
 // by the memory controller model.
-func (v *Env) AddDRAMBytes(n int64) { v.shard.stats.DRAMBytes += n }
+func (v *Env) AddDRAMBytes(n int64) { v.AddDRAMTraffic(n, 0) }
+
+// AddDRAMTraffic is AddDRAMBytes plus the controller's bandwidth horizon
+// (busy64, in 1/64-cycle units), which the metrics layer turns into a
+// queue-occupancy series. Controllers that do not model a horizon may pass
+// zero.
+func (v *Env) AddDRAMTraffic(bytes, busy64 int64) {
+	v.shard.stats.DRAMBytes += bytes
+	if v.shard.rec != nil {
+		backlog := busy64 - int64(v.Now())*64
+		if backlog < 0 {
+			backlog = 0
+		}
+		v.shard.rec.DRAM(v.e.nodeOfID[v.self], bytes, backlog, v.Now())
+	}
+}

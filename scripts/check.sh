@@ -1,10 +1,10 @@
 #!/bin/sh
 # Tier-1 verify flow: vet, build, full test suite, then the race detector
 # over the concurrency-bearing packages (the simulator's persistent worker
-# pool and the KVMSR runtime).
+# pool, the KVMSR runtime, and the metrics recorder's shard views).
 set -eux
 
 go vet ./...
 go build ./...
 go test ./...
-go test -race ./internal/sim/ ./internal/kvmsr/
+go test -race ./internal/sim/ ./internal/kvmsr/ ./internal/metrics/

@@ -24,6 +24,7 @@ import (
 	"updown/internal/arch"
 	"updown/internal/dram"
 	"updown/internal/gasmem"
+	"updown/internal/metrics"
 	"updown/internal/sim"
 	"updown/internal/udweave"
 )
@@ -74,6 +75,13 @@ type Config struct {
 	// Arch, when non-nil, overrides the full architecture description
 	// (used by ablation experiments that sweep latency or bandwidth).
 	Arch *arch.Machine
+	// Metrics, when non-nil, enables the observability recorder: per-node
+	// time series (lane occupancy, sends, DRAM traffic and backlog,
+	// injection backlog, wait-queue depth) plus per-message-kind
+	// breakdowns, retrievable via Machine.Metrics and exportable as a
+	// Perfetto trace. Nil keeps recording disabled and the simulator at
+	// full speed.
+	Metrics *metrics.Options
 }
 
 // Machine is an assembled simulated UpDown system.
@@ -83,6 +91,10 @@ type Machine struct {
 	GAS    *gasmem.GAS
 	Prog   *udweave.Program
 	Ctrls  []*dram.Controller
+	// Metrics is the observability recorder, nil unless Config.Metrics
+	// was set. After Run, Metrics.Profile() yields the merged per-node
+	// series; Profile.WriteTrace exports a Perfetto-loadable trace.
+	Metrics *metrics.Recorder
 }
 
 // New assembles a machine.
@@ -98,16 +110,21 @@ func New(cfg Config) (*Machine, error) {
 	}
 	gas := gasmem.New(a.Nodes, a.DRAMBytesPerNode)
 	prog := udweave.NewProgram(a, gas)
+	var rec *metrics.Recorder
+	if cfg.Metrics != nil {
+		rec = metrics.New(a.Nodes, *cfg.Metrics)
+	}
 	eng, err := sim.NewEngine(a, sim.Options{
 		Shards:      cfg.Shards,
 		MaxTime:     cfg.MaxTime,
 		LaneFactory: prog.NewLane,
+		Metrics:     rec,
 	})
 	if err != nil {
 		return nil, err
 	}
 	ctrls := dram.Install(eng, gas)
-	return &Machine{Arch: a, Engine: eng, GAS: gas, Prog: prog, Ctrls: ctrls}, nil
+	return &Machine{Arch: a, Engine: eng, GAS: gas, Prog: prog, Ctrls: ctrls, Metrics: rec}, nil
 }
 
 // Start posts an initial event (time 0) triggering evw with the given
