@@ -21,6 +21,7 @@ func main() {
 	seed := flag.Uint64("seed", 7, "generator seed")
 	shards := flag.Int("shards", 0, "simulator host parallelism (0 = auto)")
 	markdown := flag.Bool("markdown", false, "emit GitHub-markdown tables")
+	critpath := flag.Bool("critpath", false, "extract the causal critical path per run and add the crit% column")
 	flag.Parse()
 
 	ns, err := harness.ParseNodeList(*nodes)
@@ -38,6 +39,7 @@ func main() {
 	tables, err := harness.Fig10Ingestion(harness.Fig10Options{
 		BaseRecords: *records, Multipliers: multipliers, Nodes: ns,
 		BlockBytes: *block, Seed: *seed, Shards: *shards,
+		CritPath: *critpath,
 	})
 	if err != nil {
 		log.Fatal(err)

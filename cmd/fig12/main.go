@@ -20,6 +20,7 @@ func main() {
 	seed := flag.Uint64("seed", 42, "generator seed")
 	shards := flag.Int("shards", 0, "simulator host parallelism (0 = auto)")
 	markdown := flag.Bool("markdown", false, "emit GitHub-markdown tables")
+	critpath := flag.Bool("critpath", false, "extract the causal critical path per run and add the crit% column")
 	flag.Parse()
 
 	ms, err := harness.ParseNodeList(*mem)
@@ -29,6 +30,7 @@ func main() {
 	tables, err := harness.Fig12Placement(harness.Fig12Options{
 		ComputeNodes: *compute, MemNodes: ms, Scale: *scale,
 		DRAMBytesPerCycle: *bw, Seed: *seed, Shards: *shards,
+		CritPath: *critpath,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -30,6 +30,7 @@ func main() {
 	validate := flag.Bool("validate", true, "cross-check against host baseline")
 	abs := flag.Bool("abs", false, "also measure the host multicore baseline wall-clock")
 	markdown := flag.Bool("markdown", false, "emit GitHub-markdown tables")
+	critpath := flag.Bool("critpath", false, "extract the causal critical path per run and add the crit% column")
 	flag.Parse()
 
 	ns, err := harness.ParseNodeList(*nodes)
@@ -39,6 +40,7 @@ func main() {
 	tables, err := harness.Fig9PageRank(harness.Fig9Options{
 		Scale: *scale, Nodes: ns, Presets: strings.Split(*presets, ","),
 		Iterations: *iters, Seed: *seed, Shards: *shards, Validate: *validate,
+		CritPath: *critpath,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -19,6 +19,7 @@ func main() {
 	shards := flag.Int("shards", 0, "simulator host parallelism (0 = auto)")
 	validate := flag.Bool("validate", true, "cross-check against host baseline")
 	markdown := flag.Bool("markdown", false, "emit GitHub-markdown tables")
+	critpath := flag.Bool("critpath", false, "extract the causal critical path per run and add the crit% column")
 	flag.Parse()
 
 	ns, err := harness.ParseNodeList(*nodes)
@@ -28,6 +29,7 @@ func main() {
 	tables, err := harness.Fig9TC(harness.Fig9Options{
 		Scale: *scale, Nodes: ns, Presets: strings.Split(*presets, ","),
 		Seed: *seed, Shards: *shards, Validate: *validate,
+		CritPath: *critpath,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -1,0 +1,161 @@
+// Command tracecheck validates a Chrome trace_event JSON file produced by
+// the simulator (updown-sim -trace): well-formed phases, balanced and
+// properly nested B/E duration events per track, paired async b/e events,
+// numeric counter samples, and named processes. CI runs it on the smoke
+// trace so a malformed exporter fails the build rather than Perfetto.
+//
+//	tracecheck pr-trace.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+)
+
+type traceFile struct {
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+	TraceEvents     []traceEvent `json:"traceEvents"`
+}
+
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Cat  string         `json:"cat,omitempty"`
+	ID   string         `json:"id,omitempty"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type track struct{ pid, tid int }
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracecheck: ")
+	if len(os.Args) != 2 {
+		log.Fatal("usage: tracecheck FILE.json")
+	}
+	f, err := os.Open(os.Args[1])
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	dec := json.NewDecoder(f)
+	dec.DisallowUnknownFields()
+	var tf traceFile
+	if err := dec.Decode(&tf); err != nil {
+		log.Fatalf("%s: %v", os.Args[1], err)
+	}
+	if err := check(&tf); err != nil {
+		log.Fatalf("%s: %v", os.Args[1], err)
+	}
+	fmt.Printf("%s: ok (%d events)\n", os.Args[1], len(tf.TraceEvents))
+}
+
+func check(tf *traceFile) error {
+	// stacks holds the open B names per track; lastTs enforces per-track
+	// timestamp monotonicity of duration events (the exporter's stack walk
+	// guarantees it, Perfetto requires it).
+	stacks := map[track][]string{}
+	lastTs := map[track]float64{}
+	asyncOpen := map[string]int{}
+	namedProc := map[int]bool{}
+	counts := map[string]int{}
+	for i, e := range tf.TraceEvents {
+		counts[e.Ph]++
+		if e.Ts < 0 {
+			return fmt.Errorf("event %d (%q): negative ts %g", i, e.Name, e.Ts)
+		}
+		k := track{e.Pid, e.Tid}
+		switch e.Ph {
+		case "M":
+			switch e.Name {
+			case "process_name", "thread_name":
+				if s, ok := e.Args["name"].(string); !ok || s == "" {
+					return fmt.Errorf("event %d: %s metadata without a string name arg", i, e.Name)
+				}
+				if e.Name == "process_name" {
+					namedProc[e.Pid] = true
+				}
+			default:
+				return fmt.Errorf("event %d: unknown metadata record %q", i, e.Name)
+			}
+		case "C":
+			v, ok := e.Args["value"]
+			if !ok {
+				return fmt.Errorf("event %d: counter %q without value arg", i, e.Name)
+			}
+			if _, ok := v.(float64); !ok {
+				return fmt.Errorf("event %d: counter %q value %v is not numeric", i, e.Name, v)
+			}
+		case "B":
+			if e.Ts < lastTs[k] {
+				return fmt.Errorf("event %d: B %q at ts %g before previous event at %g on pid %d tid %d",
+					i, e.Name, e.Ts, lastTs[k], e.Pid, e.Tid)
+			}
+			lastTs[k] = e.Ts
+			stacks[k] = append(stacks[k], e.Name)
+		case "E":
+			st := stacks[k]
+			if len(st) == 0 {
+				return fmt.Errorf("event %d: E %q without open B on pid %d tid %d", i, e.Name, e.Pid, e.Tid)
+			}
+			if top := st[len(st)-1]; top != e.Name {
+				return fmt.Errorf("event %d: E %q does not close innermost B %q on pid %d tid %d",
+					i, e.Name, top, e.Pid, e.Tid)
+			}
+			if e.Ts < lastTs[k] {
+				return fmt.Errorf("event %d: E %q at ts %g before previous event at %g on pid %d tid %d",
+					i, e.Name, e.Ts, lastTs[k], e.Pid, e.Tid)
+			}
+			lastTs[k] = e.Ts
+			stacks[k] = st[:len(st)-1]
+		case "b", "e":
+			if e.Cat == "" || e.ID == "" {
+				return fmt.Errorf("event %d: async %q without cat/id", i, e.Name)
+			}
+			key := fmt.Sprintf("%d/%s/%s/%s", e.Pid, e.Cat, e.ID, e.Name)
+			if e.Ph == "b" {
+				asyncOpen[key]++
+			} else {
+				asyncOpen[key]--
+				if asyncOpen[key] < 0 {
+					return fmt.Errorf("event %d: async end %q (id %s) without begin", i, e.Name, e.ID)
+				}
+			}
+		case "i":
+			if e.S != "t" {
+				return fmt.Errorf("event %d: instant %q with scope %q, want thread scope", i, e.Name, e.S)
+			}
+		default:
+			return fmt.Errorf("event %d: unknown phase %q", i, e.Ph)
+		}
+	}
+	for k, st := range stacks {
+		if len(st) > 0 {
+			return fmt.Errorf("pid %d tid %d: %d unclosed B events (innermost %q)", k.pid, k.tid, len(st), st[len(st)-1])
+		}
+	}
+	for key, n := range asyncOpen {
+		if n != 0 {
+			return fmt.Errorf("async span %s: %d unmatched begin(s)", key, n)
+		}
+	}
+	for _, e := range tf.TraceEvents {
+		if e.Ph != "M" && !namedProc[e.Pid] {
+			return fmt.Errorf("pid %d emits events but has no process_name metadata", e.Pid)
+		}
+	}
+	fmt.Printf("phases:")
+	for _, ph := range []string{"M", "C", "B", "E", "b", "e", "i"} {
+		if counts[ph] > 0 {
+			fmt.Printf(" %s=%d", ph, counts[ph])
+		}
+	}
+	fmt.Println()
+	return nil
+}

@@ -16,9 +16,12 @@
 // per-kind breakdown after the run; -trace out.json exports a Chrome
 // trace_event file loadable in Perfetto (ui.perfetto.dev), one process
 // per node with counter tracks for lane occupancy, DRAM traffic/backlog
-// and injection backlog:
+// and injection backlog. -spans adds named span tracks (event executions,
+// thread lifetimes, KVMSR phases, application phases) to the trace file;
+// -critpath prints the causal critical-path report and latency histograms;
+// -flows prints the node-to-node message flow matrix:
 //
-//	updown-sim -app pr -nodes 16 -profile -trace pr.json
+//	updown-sim -app pr -nodes 16 -profile -trace pr.json -spans -critpath -flows
 package main
 
 import (
@@ -56,15 +59,30 @@ func main() {
 	shards := flag.Int("shards", 0, "simulator host parallelism (0 = auto)")
 	profile := flag.Bool("profile", false, "print the per-node utilization profile after the run")
 	tracePath := flag.String("trace", "", "write a Perfetto/Chrome trace_event JSON file")
-	interval := flag.Int64("metrics-interval", 0, "profile sampling interval in cycles (0 = default)")
+	spans := flag.Bool("spans", false, "record named spans (event executions, threads, KVMSR phases, app phases) into the -trace file")
+	critpath := flag.Bool("critpath", false, "print the causal critical-path report and latency histograms after the run")
+	flows := flag.Bool("flows", false, "print the node-to-node message flow matrix after the run")
+	interval := flag.Int64("metrics-interval", int64(metrics.DefaultInterval), "profile sampling interval in cycles")
 	flag.Parse()
+
+	fl := obsFlags{
+		Profile: *profile, TracePath: *tracePath, Spans: *spans,
+		CritPath: *critpath, Flows: *flows, Interval: *interval,
+	}
+	if err := fl.validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "updown-sim:", err)
+		os.Exit(2)
+	}
 
 	ar := updownArch(*nodes, *accels)
 	var mopts *metrics.Options
 	if *profile || *tracePath != "" {
-		mopts = &metrics.Options{Interval: *interval}
+		mopts = &metrics.Options{Interval: updown.Cycles(*interval)}
 	}
-	m, err := updown.New(updown.Config{Arch: &ar, Shards: *shards, MaxTime: 1 << 46, Metrics: mopts})
+	m, err := updown.New(updown.Config{
+		Arch: &ar, Shards: *shards, MaxTime: 1 << 46,
+		Metrics: mopts, Trace: fl.traceOptions(),
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -148,11 +166,60 @@ func main() {
 		if *tracePath != "" {
 			f, err := os.Create(*tracePath)
 			must(err)
-			must(p.WriteTrace(f, m.Arch))
+			must(metrics.WriteTraceFile(f, m.Arch, p, m.Trace))
 			must(f.Close())
 			fmt.Printf("trace written to %s (open in ui.perfetto.dev)\n", *tracePath)
 		}
 	}
+	if m.Trace != nil && m.Trace.CausalOn() {
+		if *critpath {
+			cp := m.Trace.CriticalPath()
+			fmt.Println()
+			must(cp.WriteText(os.Stdout))
+			fmt.Println()
+			must(m.Trace.Latencies().WriteText(os.Stdout))
+		}
+		if *flows {
+			fmt.Println()
+			must(m.Trace.Flows().WriteText(os.Stdout, m.Arch))
+		}
+	}
+}
+
+// obsFlags bundles the observability flags for validation: each analysis
+// flag must have the recording it depends on, and a bad sampling interval
+// is an error rather than a divide-by-zero downstream.
+type obsFlags struct {
+	Profile   bool
+	TracePath string
+	Spans     bool
+	CritPath  bool
+	Flows     bool
+	Interval  int64
+}
+
+func (f obsFlags) validate() error {
+	if f.Interval <= 0 {
+		return fmt.Errorf("-metrics-interval must be positive, got %d", f.Interval)
+	}
+	if f.Spans && f.TracePath == "" {
+		return fmt.Errorf("-spans records into the trace file: add -trace FILE")
+	}
+	if (f.CritPath || f.Flows) && !f.Profile && f.TracePath == "" {
+		return fmt.Errorf("-critpath/-flows need a recording run: add -profile or -trace FILE")
+	}
+	return nil
+}
+
+// traceOptions derives the causal-tracing configuration: spans when the
+// trace file should carry them, causal records when an analysis wants the
+// event DAG. Nil (tracing fully off) when neither is requested.
+func (f obsFlags) traceOptions() *metrics.TraceOptions {
+	o := metrics.TraceOptions{Spans: f.Spans, Causal: f.CritPath || f.Flows}
+	if !o.Spans && !o.Causal {
+		return nil
+	}
+	return &o
 }
 
 func updownArch(nodes, accels int) arch.Machine {

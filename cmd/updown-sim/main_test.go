@@ -1,0 +1,57 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestObsFlagsValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		f       obsFlags
+		wantErr string
+	}{
+		{"defaults", obsFlags{Interval: 8192}, ""},
+		{"zero interval", obsFlags{Interval: 0}, "-metrics-interval"},
+		{"negative interval", obsFlags{Interval: -5, Profile: true}, "-metrics-interval"},
+		{"spans without trace", obsFlags{Interval: 1, Spans: true}, "-spans"},
+		{"spans with trace", obsFlags{Interval: 1, Spans: true, TracePath: "t.json"}, ""},
+		{"critpath alone", obsFlags{Interval: 1, CritPath: true}, "-critpath"},
+		{"flows alone", obsFlags{Interval: 1, Flows: true}, "-critpath/-flows"},
+		{"critpath with profile", obsFlags{Interval: 1, CritPath: true, Profile: true}, ""},
+		{"flows with trace", obsFlags{Interval: 1, Flows: true, TracePath: "t.json"}, ""},
+		{"everything", obsFlags{Interval: 4096, Profile: true, TracePath: "t.json",
+			Spans: true, CritPath: true, Flows: true}, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.f.validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("validate(%+v) = %v, want nil", tc.f, err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("validate(%+v) = nil, want error mentioning %q", tc.f, tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestObsFlagsTraceOptions(t *testing.T) {
+	if o := (obsFlags{Interval: 1}).traceOptions(); o != nil {
+		t.Errorf("tracing off: options = %+v, want nil", o)
+	}
+	o := (obsFlags{Interval: 1, Spans: true, TracePath: "t.json"}).traceOptions()
+	if o == nil || !o.Spans || o.Causal {
+		t.Errorf("spans only: options = %+v", o)
+	}
+	o = (obsFlags{Interval: 1, CritPath: true, Profile: true}).traceOptions()
+	if o == nil || o.Spans || !o.Causal {
+		t.Errorf("critpath only: options = %+v", o)
+	}
+}

@@ -218,6 +218,7 @@ func (a *App) Parents() []uint64 {
 func (a *App) driver(c *updown.Ctx) {
 	if c.State() == nil {
 		a.Start = c.Now()
+		c.Phase("bfs seed")
 		c.SetState(&driverState{phase: "seedv"})
 		// Mark the root visited on its reduce owner lane. Keys in the
 		// shuffle are base-member IDs.
@@ -234,6 +235,7 @@ func (a *App) driver(c *updown.Ctx) {
 		c.SendEvent(udweave.EvwNew(a.cfg.Lanes.First, a.lSeedCount), c.ContinueTo(a.lDriver), members)
 	case "seedc":
 		st.phase = "round"
+		a.roundPhase(c, st.round)
 		a.inv.LaunchWithArg(c, uint64(a.f.Accels()), st.round, c.ContinueTo(a.lDriver))
 	case "round":
 		a.Rounds++
@@ -241,11 +243,21 @@ func (a *App) driver(c *updown.Ctx) {
 		if c.Op(0) == 0 {
 			// No edges explored this round: the search is complete.
 			a.Done = c.Now()
+			c.PhaseEnd()
 			c.YieldTerminate()
 			return
 		}
 		st.round++
+		a.roundPhase(c, st.round)
 		a.inv.LaunchWithArg(c, uint64(a.f.Accels()), st.round, c.ContinueTo(a.lDriver))
+	}
+}
+
+// roundPhase annotates the program-phase trace track with the frontier
+// level (tracing only; the name is built only when spans are recorded).
+func (a *App) roundPhase(c *updown.Ctx, round uint64) {
+	if c.Tracing() {
+		c.Phase(fmt.Sprintf("bfs round %d", round))
 	}
 }
 

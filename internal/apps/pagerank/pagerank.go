@@ -13,6 +13,7 @@
 package pagerank
 
 import (
+	"fmt"
 	"math"
 
 	"updown"
@@ -199,6 +200,7 @@ func (a *App) driver(c *updown.Ctx) {
 	if c.State() == nil {
 		a.Start = c.Now()
 		c.SetState("map")
+		a.phase(c, "map")
 		a.mainInv.Launch(c, uint64(a.dg.G.N), c.ContinueTo(a.lDriver))
 		return
 	}
@@ -212,6 +214,7 @@ func (a *App) driver(c *updown.Ctx) {
 			return
 		}
 		c.SetState("flush")
+		a.phase(c, "flush")
 		a.flushInv.Launch(c, uint64(a.cfg.Lanes.Count), c.ContinueTo(a.lDriver))
 	case "flush":
 		a.flushed2apply(c)
@@ -219,16 +222,27 @@ func (a *App) driver(c *updown.Ctx) {
 		a.iterLeft--
 		if a.iterLeft > 0 {
 			c.SetState("map")
+			a.phase(c, "map")
 			a.mainInv.Launch(c, uint64(a.dg.G.N), c.ContinueTo(a.lDriver))
 			return
 		}
 		a.Done = c.Now()
+		c.PhaseEnd()
 		c.YieldTerminate()
+	}
+}
+
+// phase annotates the program-phase trace track with the current iteration
+// (tracing only; the name is built only when spans are recorded).
+func (a *App) phase(c *updown.Ctx, name string) {
+	if c.Tracing() {
+		c.Phase(fmt.Sprintf("pr iter %d %s", a.cfg.Iterations-a.iterLeft+1, name))
 	}
 }
 
 func (a *App) flushed2apply(c *updown.Ctx) {
 	c.SetState("apply")
+	a.phase(c, "apply")
 	a.applyInv.Launch(c, uint64(a.dg.G.N), c.ContinueTo(a.lDriver))
 }
 

@@ -156,16 +156,19 @@ func (a *App) Triangles() uint64 { return a.Total() / 3 }
 func (a *App) driver(c *updown.Ctx) {
 	if c.State() == nil {
 		a.Start = c.Now()
+		c.Phase("tc main")
 		c.SetState("main")
 		a.mainInv.Launch(c, uint64(a.dg.G.N), c.ContinueTo(a.lDriver))
 		return
 	}
 	switch c.State().(string) {
 	case "main":
+		c.Phase("tc flush")
 		c.SetState("flush")
 		a.flushInv.Launch(c, uint64(a.cfg.Lanes.Count), c.ContinueTo(a.lDriver))
 	case "flush":
 		a.Done = c.Now()
+		c.PhaseEnd()
 		c.YieldTerminate()
 	}
 }

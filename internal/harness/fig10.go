@@ -27,6 +27,8 @@ type Fig10Options struct {
 	Shards int
 	// Profile enables the metrics recorder and the utilization columns.
 	Profile bool
+	// CritPath enables causal tracing and the crit% column.
+	CritPath bool
 	// MaxTime bounds simulated cycles per configuration (0 = default);
 	// timed-out configurations become table notes, not sweep failures.
 	MaxTime arch.Cycles
@@ -69,7 +71,8 @@ func Fig10Ingestion(opt Fig10Options) ([]*Table, error) {
 				maxTime = 1 << 44
 			}
 			m, err := updown.New(updown.Config{Nodes: nodes, Shards: opt.Shards,
-				MaxTime: maxTime, Metrics: metricsConfig(opt.Profile)})
+				MaxTime: maxTime, Metrics: metricsConfig(opt.Profile),
+				Trace: traceConfig(opt.CritPath)})
 			if err != nil {
 				return nil, err
 			}
@@ -98,6 +101,7 @@ func Fig10Ingestion(opt Fig10Options) ([]*Table, error) {
 				HostMevS: hostRate,
 			}
 			fillUtilization(&row, m)
+			fillCritPct(&row, m)
 			tb.Rows = append(tb.Rows, row)
 		}
 		tb.FillSpeedups()
@@ -120,6 +124,8 @@ type Fig11Options struct {
 	Shards     int
 	// Profile enables the metrics recorder and the utilization columns.
 	Profile bool
+	// CritPath enables causal tracing and the crit% column.
+	CritPath bool
 	// MaxTime bounds simulated cycles per configuration (0 = default);
 	// timed-out configurations become table notes, not sweep failures.
 	MaxTime arch.Cycles
@@ -165,7 +171,8 @@ func Fig11PartialMatch(opt Fig11Options) (*Table, error) {
 			maxTime = 1 << 46
 		}
 		m, err := updown.New(updown.Config{Nodes: nodes, Shards: opt.Shards,
-			MaxTime: maxTime, Metrics: metricsConfig(opt.Profile)})
+			MaxTime: maxTime, Metrics: metricsConfig(opt.Profile),
+			Trace: traceConfig(opt.CritPath)})
 		if err != nil {
 			return nil, err
 		}
@@ -201,6 +208,7 @@ func Fig11PartialMatch(opt Fig11Options) (*Table, error) {
 			HostMevS: hostRate,
 		}
 		fillUtilization(&row, m)
+		fillCritPct(&row, m)
 		tb.Rows = append(tb.Rows, row)
 		_ = want
 	}

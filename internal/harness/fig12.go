@@ -30,6 +30,8 @@ type Fig12Options struct {
 	// on this sweep the DRAM% column is the direct readout of the
 	// bandwidth knee the figure is about.
 	Profile bool
+	// CritPath enables causal tracing and the crit% column.
+	CritPath bool
 	// MaxTime bounds simulated cycles per configuration (0 = default);
 	// timed-out configurations become table notes, not sweep failures.
 	MaxTime arch.Cycles
@@ -71,7 +73,8 @@ func Fig12Placement(opt Fig12Options) ([]*Table, error) {
 		a := arch.DefaultMachine(opt.ComputeNodes)
 		a.DRAMBytesPerCycle = opt.DRAMBytesPerCycle
 		return updown.New(updown.Config{Arch: &a, Shards: opt.Shards,
-			MaxTime: maxTime, Metrics: metricsConfig(opt.Profile)})
+			MaxTime: maxTime, Metrics: metricsConfig(opt.Profile),
+			Trace: traceConfig(opt.CritPath)})
 	}
 
 	prT := &Table{
@@ -110,6 +113,7 @@ func Fig12Placement(opt Fig12Options) ([]*Table, error) {
 			HostMevS: hostRate,
 		}
 		fillUtilization(&row, m)
+		fillCritPct(&row, m)
 		prT.Rows = append(prT.Rows, row)
 	}
 	prT.FillSpeedups()
@@ -150,6 +154,7 @@ func Fig12Placement(opt Fig12Options) ([]*Table, error) {
 			HostMevS: hostRate,
 		}
 		fillUtilization(&row, m)
+		fillCritPct(&row, m)
 		bfsT.Rows = append(bfsT.Rows, row)
 	}
 	bfsT.FillSpeedups()

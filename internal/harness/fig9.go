@@ -34,6 +34,9 @@ type Fig9Options struct {
 	// Profile enables the metrics recorder and fills the utilization
 	// columns (imbalance, DRAM%, inj%) of every row.
 	Profile bool
+	// CritPath enables causal tracing and fills the crit% column of every
+	// row (critical-path length over makespan).
+	CritPath bool
 	// MaxTime bounds simulated cycles per configuration (0 = the runner
 	// default). Configurations that exceed it are recorded as a table
 	// note and skipped instead of aborting the sweep.
@@ -109,7 +112,8 @@ func Fig9PageRank(opt Fig9Options) ([]*Table, error) {
 		}
 		for _, nodes := range opt.Nodes {
 			m, err := updown.New(updown.Config{Nodes: nodes, Shards: opt.Shards,
-				MaxTime: opt.maxTime(), Metrics: metricsConfig(opt.Profile)})
+				MaxTime: opt.maxTime(), Metrics: metricsConfig(opt.Profile),
+				Trace: traceConfig(opt.CritPath)})
 			if err != nil {
 				return nil, err
 			}
@@ -145,6 +149,7 @@ func Fig9PageRank(opt Fig9Options) ([]*Table, error) {
 				HostMevS: hostRate,
 			}
 			fillUtilization(&row, m)
+			fillCritPct(&row, m)
 			tb.Rows = append(tb.Rows, row)
 		}
 		tb.FillSpeedups()
@@ -193,7 +198,8 @@ func Fig9BFS(opt Fig9Options) ([]*Table, error) {
 		}
 		for _, nodes := range opt.Nodes {
 			m, err := updown.New(updown.Config{Nodes: nodes, Shards: opt.Shards,
-				MaxTime: opt.maxTime(), Metrics: metricsConfig(opt.Profile)})
+				MaxTime: opt.maxTime(), Metrics: metricsConfig(opt.Profile),
+				Trace: traceConfig(opt.CritPath)})
 			if err != nil {
 				return nil, err
 			}
@@ -229,6 +235,7 @@ func Fig9BFS(opt Fig9Options) ([]*Table, error) {
 				HostMevS: hostRate,
 			}
 			fillUtilization(&row, m)
+			fillCritPct(&row, m)
 			tb.Rows = append(tb.Rows, row)
 		}
 		tb.FillSpeedups()
@@ -274,7 +281,8 @@ func Fig9TC(opt Fig9Options) ([]*Table, error) {
 		}
 		for _, nodes := range opt.Nodes {
 			m, err := updown.New(updown.Config{Nodes: nodes, Shards: opt.Shards,
-				MaxTime: opt.maxTime(), Metrics: metricsConfig(opt.Profile)})
+				MaxTime: opt.maxTime(), Metrics: metricsConfig(opt.Profile),
+				Trace: traceConfig(opt.CritPath)})
 			if err != nil {
 				return nil, err
 			}
@@ -307,6 +315,7 @@ func Fig9TC(opt Fig9Options) ([]*Table, error) {
 				HostMevS: hostRate,
 			}
 			fillUtilization(&row, m)
+			fillCritPct(&row, m)
 			tb.Rows = append(tb.Rows, row)
 		}
 		tb.FillSpeedups()

@@ -50,6 +50,10 @@ type Row struct {
 	Imbalance float64
 	DRAMUtil  float64
 	InjUtil   float64
+	// CritPct is the causal critical-path length as a fraction of the
+	// makespan (1.0 = fully serialized; lower = more latency hiding),
+	// filled only when the sweep runs with critical-path tracing enabled.
+	CritPct float64
 }
 
 // metricsConfig returns the recorder options for a sweep row: nil unless
@@ -71,6 +75,25 @@ func fillUtilization(r *Row, m *updown.Machine) {
 	r.Imbalance = s.Imbalance
 	r.DRAMUtil = s.DRAMUtil
 	r.InjUtil = s.InjUtil
+}
+
+// traceConfig returns the causal-tracing options for a sweep row: nil
+// unless critical-path extraction was requested (spans are not needed for
+// the crit% column, so only edge recording is enabled).
+func traceConfig(critPath bool) *metrics.TraceOptions {
+	if !critPath {
+		return nil
+	}
+	return &metrics.TraceOptions{Causal: true}
+}
+
+// fillCritPct populates r's crit% column from m's causal trace after a
+// run; it is a no-op when the machine was built without tracing.
+func fillCritPct(r *Row, m *updown.Machine) {
+	if m.Trace == nil || !m.Trace.CausalOn() {
+		return
+	}
+	r.CritPct = m.Trace.CriticalPath().CritPct()
 }
 
 // hostMevS converts an event count and a wall-clock duration into the
@@ -133,14 +156,29 @@ func (t *Table) profiled() bool {
 	return false
 }
 
+// critTracked reports whether any row carries a crit% value, which then
+// adds the column to the rendered tables.
+func (t *Table) critTracked() bool {
+	for _, r := range t.Rows {
+		if r.CritPct != 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // Format renders the table as aligned text.
 func (t *Table) Format() string {
 	prof := t.profiled()
+	crit := t.critTracked()
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s — %s\n", t.Title, t.Workload)
 	fmt.Fprintf(&b, "%-12s %14s %12s %10s %16s %12s", "config", "cycles", "seconds", "speedup", t.MetricName, "host-Mev/s")
 	if prof {
 		fmt.Fprintf(&b, " %8s %8s %8s", "imbal", "dram%", "inj%")
+	}
+	if crit {
+		fmt.Fprintf(&b, " %8s", "crit%")
 	}
 	b.WriteByte('\n')
 	for _, r := range t.Rows {
@@ -148,6 +186,9 @@ func (t *Table) Format() string {
 			r.Label, r.Cycles, r.Seconds, r.Speedup, r.Metric, r.HostMevS)
 		if prof {
 			fmt.Fprintf(&b, " %8.2f %8.1f %8.1f", r.Imbalance, 100*r.DRAMUtil, 100*r.InjUtil)
+		}
+		if crit {
+			fmt.Fprintf(&b, " %8.2f", 100*r.CritPct)
 		}
 		b.WriteByte('\n')
 	}
@@ -160,6 +201,7 @@ func (t *Table) Format() string {
 // Markdown renders the table as a GitHub table (EXPERIMENTS.md).
 func (t *Table) Markdown() string {
 	prof := t.profiled()
+	crit := t.critTracked()
 	var b strings.Builder
 	fmt.Fprintf(&b, "**%s — %s**\n\n", t.Title, t.Workload)
 	fmt.Fprintf(&b, "| config | cycles | seconds | speedup | %s | host-Mev/s |", t.MetricName)
@@ -168,12 +210,19 @@ func (t *Table) Markdown() string {
 		b.WriteString(" imbal | dram% | inj% |")
 		sep += "---|---|---|"
 	}
+	if crit {
+		b.WriteString(" crit% |")
+		sep += "---|"
+	}
 	b.WriteString(sep + "\n")
 	for _, r := range t.Rows {
 		fmt.Fprintf(&b, "| %s | %d | %.6f | %.2f | %.4g | %.3f |",
 			r.Label, r.Cycles, r.Seconds, r.Speedup, r.Metric, r.HostMevS)
 		if prof {
 			fmt.Fprintf(&b, " %.2f | %.1f | %.1f |", r.Imbalance, 100*r.DRAMUtil, 100*r.InjUtil)
+		}
+		if crit {
+			fmt.Fprintf(&b, " %.2f |", 100*r.CritPct)
 		}
 		b.WriteByte('\n')
 	}

@@ -87,6 +87,10 @@ type laneState struct {
 	awaiting    bool
 	exhausted   bool
 	doneSent    bool
+	// mapActive tracks the open map-window span (tracing only): the
+	// window from the lane's first in-flight map task to its lane-done
+	// report.
+	mapActive bool
 
 	// accelerator-master role
 	aExpect int
@@ -112,6 +116,9 @@ type laneState struct {
 	poolNext uint64
 	poolEnd  uint64
 	probing  bool
+	// launches numbers the invocation's launches; it pairs the per-launch
+	// phase spans (tracing only).
+	launches uint64
 }
 
 // Invocation is a registered KVMSR computation, launchable repeatedly.
@@ -139,6 +146,13 @@ type Invocation struct {
 	lRetryProbe  udweave.Label
 	lMoreWork    udweave.Label
 	lGrant       udweave.Label
+
+	// Precomputed span names (tracing): per-emit instants, per-lane map
+	// windows, and per-launch master phases.
+	nameEmit       string
+	nameMapWin     string
+	namePhaseMap   string
+	namePhaseDrain string
 }
 
 var invSeq int
@@ -181,6 +195,10 @@ func New(p *udweave.Program, s Spec) (*Invocation, error) {
 	v.lRetryProbe = p.Define(n+".retry_probe", v.retryProbe)
 	v.lMoreWork = p.Define(n+".more_work", v.moreWork)
 	v.lGrant = p.Define(n+".grant", v.grant)
+	v.nameEmit = n + ".emit"
+	v.nameMapWin = n + ".map_window"
+	v.namePhaseMap = n + ".map_phase"
+	v.namePhaseDrain = n + ".drain_phase"
 	return v, nil
 }
 
@@ -238,6 +256,7 @@ func (v *Invocation) Emit(c *udweave.Ctx, key uint64, vals ...uint64) {
 	}
 	st.emitted++
 	c.Cycles(4)
+	c.Mark(v.nameEmit)
 	target := v.s.ReduceBinding.Lane(key, v.s.Lanes)
 	var buf [8]uint64
 	buf[0] = key
@@ -256,6 +275,7 @@ func (v *Invocation) SendReduce(c *udweave.Ctx, key uint64, vals ...uint64) {
 		panic(fmt.Sprintf("kvmsr: %s: SendReduce without a ReduceEvent", v.s.Name))
 	}
 	c.Cycles(4)
+	c.Mark(v.nameEmit)
 	target := v.s.ReduceBinding.Lane(key, v.s.Lanes)
 	var buf [8]uint64
 	buf[0] = key
@@ -309,6 +329,8 @@ func (v *Invocation) masterStart(c *udweave.Ctx) {
 	st.poolNext = v.s.MapBinding.poolStart(v.s.Lanes.Count, numKeys)
 	st.poolEnd = numKeys
 	st.probing = false
+	st.launches++
+	c.TaskBegin(v.namePhaseMap, st.launches)
 	c.Cycles(10)
 	m := v.p.M
 	for node := v.s.Lanes.firstNode(m); node <= v.s.Lanes.lastNode(m); node++ {
@@ -394,6 +416,19 @@ func (v *Invocation) pump(c *udweave.Ctx, st *laneState) {
 		c.SendEvent(udweave.EvwNew(v.s.Lanes.ParentAccelMaster(v.p.M, self), v.lLaneDone),
 			udweave.IGNRCONT, st.emitted)
 	}
+	// Tracing: bracket the lane's map window — first in-flight task to the
+	// lane-done report — as an async span (it overlaps the lane's event
+	// executions). Only the transitions touch state, and only when spans
+	// are recorded.
+	if c.Tracing() {
+		if st.outstanding > 0 && !st.mapActive {
+			st.mapActive = true
+			c.TaskBegin(v.nameMapWin, uint64(self))
+		} else if st.doneSent && st.mapActive {
+			st.mapActive = false
+			c.TaskEnd(v.nameMapWin, uint64(self))
+		}
+	}
 }
 
 func (v *Invocation) mapReturn(c *udweave.Ctx) {
@@ -468,10 +503,12 @@ func (v *Invocation) nodeDone(c *udweave.Ctx) {
 		// All map tasks have returned; mEmit is the cumulative emit
 		// count. With no reduce phase the invocation is complete;
 		// otherwise probe the reduce counters until they match.
+		c.TaskEnd(v.namePhaseMap, st.launches)
 		if v.s.ReduceEvent == 0 {
 			v.complete(c, st)
 		} else {
 			st.probing = true
+			c.TaskBegin(v.namePhaseDrain, st.launches)
 			v.sendProbe(c)
 		}
 	}
@@ -479,6 +516,9 @@ func (v *Invocation) nodeDone(c *udweave.Ctx) {
 }
 
 func (v *Invocation) complete(c *udweave.Ctx, st *laneState) {
+	if st.probing {
+		c.TaskEnd(v.namePhaseDrain, st.launches)
+	}
 	delta := st.mEmit - st.prevEmit
 	st.prevEmit = st.mEmit
 	st.probing = false

@@ -1,0 +1,264 @@
+package metrics_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"updown/internal/arch"
+	"updown/internal/metrics"
+)
+
+// buildChainRecorder hand-records a small event DAG across `views` shard
+// views (splitting the records across views must not change any analysis):
+//
+//	post A (deliver 10)  -> exec A (start 10, 20 cycles)
+//	A sends B at 25 (service 0, queue 3, net 100, deliver 128)
+//	                     -> exec B (start 130, 40 cycles)   <- tail & crit
+//	post C (deliver 50)  -> exec C (start 50, 5 cycles)
+func buildChainRecorder(views int) *metrics.TraceRecorder {
+	tr := metrics.NewTrace(metrics.TraceOptions{Causal: true})
+	pick := func(i int) *metrics.TraceView { return tr.Shard(i % views) }
+	tr.PostEdge(metrics.EdgeRec{Src: 1000, Seq: 0, ParentSrc: -1, Dst: 5,
+		Kind: uint8(arch.KindEvent), SendAt: 10, Deliver: 10})
+	tr.PostEdge(metrics.EdgeRec{Src: 1000, Seq: 1, ParentSrc: -1, Dst: 9,
+		Kind: uint8(arch.KindEvent), SendAt: 50, Deliver: 50})
+	pick(0).Exec(metrics.ExecRec{Src: 1000, Seq: 0, Kind: uint8(arch.KindEvent), Start: 10, Charged: 20})
+	pick(1).Edge(metrics.EdgeRec{Src: 5, Seq: 0, ParentSrc: 1000, ParentSeq: 0, Dst: 7,
+		SrcNode: 0, DstNode: 1, Kind: uint8(arch.KindEvent),
+		SendAt: 25, Service: 0, Queue: 3, Net: 100, Deliver: 128})
+	pick(0).Exec(metrics.ExecRec{Src: 5, Seq: 0, Kind: uint8(arch.KindEvent), Start: 130, Charged: 40})
+	pick(1).Exec(metrics.ExecRec{Src: 1000, Seq: 1, Kind: uint8(arch.KindEvent), Start: 50, Charged: 5})
+	tr.ObserveFinalTime(200)
+	return tr
+}
+
+// TestCriticalPathHandBuilt pins the DP against hand-computed values and
+// the structural invariants: Length <= Makespan, the zero-queue components
+// sum exactly to Length, and the observed components sum exactly to
+// ObservedLength.
+func TestCriticalPathHandBuilt(t *testing.T) {
+	cp := buildChainRecorder(1).CriticalPath()
+	// Zero-queue chain A->B: s(B) = 10 + (25-10) + 0 + 100 = 125;
+	// length = 125 + 40 - 10 = 155.
+	if cp.Length != 155 {
+		t.Errorf("Length = %d, want 155", cp.Length)
+	}
+	if cp.Makespan != 200 {
+		t.Errorf("Makespan = %d, want 200 (final time)", cp.Makespan)
+	}
+	if cp.Length > cp.Makespan {
+		t.Errorf("critical path %d exceeds makespan %d", cp.Length, cp.Makespan)
+	}
+	if cp.Events != 2 {
+		t.Errorf("Events = %d, want 2", cp.Events)
+	}
+	// compute = 40 (tail) + 15 (A's pre-send) = 55; network = 100.
+	want := metrics.PathComponents{Compute: 55, Network: 100}
+	if cp.Components != want {
+		t.Errorf("Components = %+v, want %+v", cp.Components, want)
+	}
+	if cp.Components.Total() != cp.Length {
+		t.Errorf("components sum %d != Length %d", cp.Components.Total(), cp.Length)
+	}
+	// Observed tail chain ends at B's finish 170, rooted at A's post
+	// delivery 10: length 160 = 55 compute + 100 net + 3 queue + 2 wait.
+	if cp.ObservedLength != 160 || cp.ObservedEvents != 2 {
+		t.Errorf("observed length=%d events=%d, want 160 and 2", cp.ObservedLength, cp.ObservedEvents)
+	}
+	wantObs := metrics.PathComponents{Compute: 55, Network: 100, Queue: 3, Wait: 2}
+	if cp.Observed != wantObs {
+		t.Errorf("Observed = %+v, want %+v", cp.Observed, wantObs)
+	}
+	if cp.Observed.Total() != cp.ObservedLength {
+		t.Errorf("observed components sum %d != ObservedLength %d", cp.Observed.Total(), cp.ObservedLength)
+	}
+	kinds := cp.Kinds[arch.KindEvent]
+	if kinds.Count != 2 || kinds.Cycles != 60 {
+		t.Errorf("chain kind stat = %+v, want 2 events / 60 cycles", kinds)
+	}
+	if got := cp.CritPct(); got != 155.0/200.0 {
+		t.Errorf("CritPct = %v, want 0.775", got)
+	}
+}
+
+// TestCriticalPathEmpty: no records at all must not panic and report zero.
+func TestCriticalPathEmpty(t *testing.T) {
+	tr := metrics.NewTrace(metrics.TraceOptions{Causal: true})
+	cp := tr.CriticalPath()
+	if cp.Length != 0 || cp.Events != 0 || cp.CritPct() != 0 {
+		t.Errorf("empty trace critical path = %+v", cp)
+	}
+	var b strings.Builder
+	if err := cp.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFlowsAndLatencies checks the traffic matrix (posts excluded, engine
+// edges counted per src/dst node) and the histogram join.
+func TestFlowsAndLatencies(t *testing.T) {
+	tr := buildChainRecorder(1)
+	f := tr.Flows()
+	if f.Nodes != 2 {
+		t.Fatalf("Nodes = %d, want 2", f.Nodes)
+	}
+	if f.Msgs[0][1] != 1 || f.Msgs[0][0] != 0 || f.Msgs[1][0] != 0 {
+		t.Errorf("Msgs = %v, want exactly one 0->1 message", f.Msgs)
+	}
+	var b strings.Builder
+	if err := f.WriteText(&b, arch.DefaultMachine(2)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "1 cross-node") {
+		t.Errorf("flow report missing cross-node count:\n%s", b.String())
+	}
+
+	lr := tr.Latencies()
+	h := &lr.Kinds[arch.KindEvent]
+	// Three executed events join with edges (two posts + one send).
+	if h[metrics.CompNetwork].Count != 3 {
+		t.Fatalf("network hist count = %d, want 3", h[metrics.CompNetwork].Count)
+	}
+	if h[metrics.CompNetwork].Max != 100 || h[metrics.CompNetwork].Sum != 100 {
+		t.Errorf("network hist = %+v, want max=sum=100", h[metrics.CompNetwork])
+	}
+	// net=100 lands in bucket bits.Len64(100) = 7; the two zero-latency
+	// posts land in bucket 0.
+	if h[metrics.CompNetwork].Buckets[7] != 1 || h[metrics.CompNetwork].Buckets[0] != 2 {
+		t.Errorf("network buckets = %v", h[metrics.CompNetwork].Buckets)
+	}
+	if h[metrics.CompQueue].Sum != 3 || h[metrics.CompWait].Sum != 2 {
+		t.Errorf("queue sum=%d wait sum=%d, want 3 and 2",
+			h[metrics.CompQueue].Sum, h[metrics.CompWait].Sum)
+	}
+}
+
+// TestCausalViewSplitDeterminism: distributing the same records across a
+// different number of shard views must not change any rendered analysis.
+func TestCausalViewSplitDeterminism(t *testing.T) {
+	one, three := buildChainRecorder(1), buildChainRecorder(3)
+	if a, b := one.CriticalPath().String(), three.CriticalPath().String(); a != b {
+		t.Errorf("critical path differs across view splits:\n%s\nvs\n%s", a, b)
+	}
+	m := arch.DefaultMachine(2)
+	if a, b := one.Flows().String(m), three.Flows().String(m); a != b {
+		t.Errorf("flow matrix differs across view splits:\n%s\nvs\n%s", a, b)
+	}
+	if a, b := one.Latencies().String(), three.Latencies().String(); a != b {
+		t.Errorf("latency report differs across view splits:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// buildSpanRecorder records spans on two tracks plus the program phase
+// track, split across `views` shard views.
+func buildSpanRecorder(views int) *metrics.TraceRecorder {
+	tr := metrics.NewTrace(metrics.TraceOptions{Spans: true})
+	v0 := tr.Shard(0)
+	v1 := tr.Shard((views - 1) % views)
+	// Track (0,1): nested complete spans, an instant, an async pair.
+	v0.AsyncBegin(0, 1, 42, "thread", 5)
+	v0.Span(0, 1, "outer", 10, 100)
+	v0.Span(0, 1, "inner", 20, 60)
+	v0.Instant(0, 1, "emit", 30)
+	v0.AsyncEnd(0, 1, 42, "thread", 120)
+	// Track (1,1) on another node, possibly another view.
+	v1.Span(1, 1, "work", 15, 40)
+	// Program phases: second phase left open, closed at final time.
+	v1.Phase("phase one", 0)
+	v1.Phase("phase two", 80)
+	tr.ObserveFinalTime(150)
+	return tr
+}
+
+// TestSpanExportSchema renders spans through WriteTraceFile and validates
+// the trace_event output: decodable with no unknown fields, balanced and
+// LIFO-nested B/E per track, async pairs carrying cat+id, thread-scoped
+// instants, and process/thread metadata preceding each track's events.
+func TestSpanExportSchema(t *testing.T) {
+	tr := buildSpanRecorder(1)
+	m := arch.DefaultMachine(2)
+	var buf bytes.Buffer
+	if err := metrics.WriteTraceFile(&buf, m, nil, tr); err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(buf.Bytes()))
+	dec.DisallowUnknownFields()
+	var tf decodedTrace
+	if err := dec.Decode(&tf); err != nil {
+		t.Fatalf("span trace is not valid trace_event JSON: %v\n%s", err, buf.String())
+	}
+
+	type track struct{ pid, tid int }
+	stacks := map[track][]string{}
+	async := 0
+	names := map[string]int{}
+	procNamed := map[int]bool{}
+	for i, ev := range tf.TraceEvents {
+		k := track{ev.Pid, ev.Tid}
+		if ev.Ph != "M" && !procNamed[ev.Pid] {
+			t.Errorf("event %d: %q precedes pid %d process_name", i, ev.Name, ev.Pid)
+		}
+		switch ev.Ph {
+		case "M":
+			if ev.Name == "process_name" {
+				procNamed[ev.Pid] = true
+			}
+		case "B":
+			stacks[k] = append(stacks[k], ev.Name)
+			names[ev.Name]++
+		case "E":
+			st := stacks[k]
+			if len(st) == 0 || st[len(st)-1] != ev.Name {
+				t.Fatalf("event %d: E %q does not close the innermost B (stack %v)", i, ev.Name, st)
+			}
+			stacks[k] = st[:len(st)-1]
+		case "b", "e":
+			if ev.Cat == "" || ev.ID == "" {
+				t.Errorf("event %d: async %q missing cat/id", i, ev.Name)
+			}
+			if ev.Ph == "b" {
+				async++
+			} else {
+				async--
+			}
+		case "i":
+			if ev.S != "t" {
+				t.Errorf("event %d: instant %q scope %q, want t", i, ev.Name, ev.S)
+			}
+			names[ev.Name]++
+		default:
+			t.Errorf("event %d: unexpected phase %q", i, ev.Ph)
+		}
+	}
+	for k, st := range stacks {
+		if len(st) != 0 {
+			t.Errorf("track %v: unclosed B events %v", k, st)
+		}
+	}
+	if async != 0 {
+		t.Errorf("unbalanced async events: %+d", async)
+	}
+	for _, n := range []string{"outer", "inner", "emit", "work", "phase one", "phase two"} {
+		if names[n] == 0 {
+			t.Errorf("span %q missing from export", n)
+		}
+	}
+}
+
+// TestSpanExportViewSplitDeterminism: the rendered trace file must be
+// byte-identical however the span records were distributed across views.
+func TestSpanExportViewSplitDeterminism(t *testing.T) {
+	m := arch.DefaultMachine(2)
+	var a, b bytes.Buffer
+	if err := metrics.WriteTraceFile(&a, m, nil, buildSpanRecorder(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := metrics.WriteTraceFile(&b, m, nil, buildSpanRecorder(2)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("span export differs across view splits:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}

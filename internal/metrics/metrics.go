@@ -294,18 +294,12 @@ type Summary struct {
 }
 
 // Summarize computes the run summary under machine m's bandwidth and
-// message parameters.
+// message parameters. Degenerate profiles — a zero-duration run, an empty
+// or untouched node set, a machine description without bandwidth figures —
+// yield zero utilizations rather than NaN/Inf: every division below is
+// gated on a positive denominator.
 func (p *Profile) Summarize(m arch.Machine) Summary {
 	s := Summary{FinalTime: p.FinalTime}
-	if p.FinalTime <= 0 {
-		return s
-	}
-	// Injection transfer time per cross-node message in 1/64-cycle units,
-	// mirroring the engine's port model (minimum one unit).
-	xfer64 := int64(64*m.MsgBytes) / int64(m.InjectBytesPerCycle)
-	if xfer64 < 1 {
-		xfer64 = 1
-	}
 	var busySum, peakBusy, peakBytes, peakXSends int64
 	for i := range p.Nodes {
 		n := &p.Nodes[i]
@@ -329,9 +323,22 @@ func (p *Profile) Summarize(m arch.Machine) Summary {
 	if s.NodesTouched > 0 && busySum > 0 {
 		s.Imbalance = float64(peakBusy) * float64(s.NodesTouched) / float64(busySum)
 	}
+	if p.FinalTime <= 0 {
+		return s
+	}
 	ft := float64(p.FinalTime)
-	s.DRAMUtil = float64(peakBytes) / (ft * float64(m.DRAMBytesPerCycle))
-	s.InjUtil = float64(peakXSends*xfer64) / (ft * 64)
+	if m.DRAMBytesPerCycle > 0 {
+		s.DRAMUtil = float64(peakBytes) / (ft * float64(m.DRAMBytesPerCycle))
+	}
+	if m.InjectBytesPerCycle > 0 {
+		// Injection transfer time per cross-node message in 1/64-cycle
+		// units, mirroring the engine's port model (minimum one unit).
+		xfer64 := int64(64*m.MsgBytes) / int64(m.InjectBytesPerCycle)
+		if xfer64 < 1 {
+			xfer64 = 1
+		}
+		s.InjUtil = float64(peakXSends*xfer64) / (ft * 64)
+	}
 	return s
 }
 

@@ -24,6 +24,9 @@ type decodedEvent struct {
 	Ts   float64        `json:"ts"`
 	Pid  int            `json:"pid"`
 	Tid  int            `json:"tid"`
+	Cat  string         `json:"cat"`
+	ID   string         `json:"id"`
+	S    string         `json:"s"`
 	Args map[string]any `json:"args"`
 }
 
@@ -157,6 +160,58 @@ func TestWriteTraceTimestamps(t *testing.T) {
 	}
 	if !sawBucket1 {
 		t.Error("no counter sample for the populated bucket")
+	}
+}
+
+// TestWriteTracePartialLastBucket: activity whose final bucket is only
+// partially covered by the run (FinalTime not a multiple of Interval) must
+// land in bucket at/interval, and the series-closing zero sample must sit
+// at the bucket boundary after it — not at FinalTime.
+func TestWriteTracePartialLastBucket(t *testing.T) {
+	m := arch.DefaultMachine(1)
+	r := metrics.New(1, metrics.Options{Interval: 1000})
+	v := r.Shard(0)
+	v.Event(0, arch.KindEvent, 100, 10, 0)  // bucket 0
+	v.Event(0, arch.KindEvent, 2400, 10, 0) // bucket 2, before FinalTime 2500
+	r.ObserveFinalTime(2500)
+	var buf bytes.Buffer
+	if err := r.Profile().WriteTrace(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(buf.Bytes()))
+	dec.DisallowUnknownFields()
+	var tr decodedTrace
+	if err := dec.Decode(&tr); err != nil {
+		t.Fatalf("trace is not valid trace_event JSON: %v", err)
+	}
+	// At 2 GHz: cycle 2000 = 1.0 us (bucket 2 start), cycle 3000 = 1.5 us
+	// (the close-out sample after the last, partially-filled bucket).
+	var sawBucket2, sawClose bool
+	for _, ev := range tr.TraceEvents {
+		if ev.Ph != "C" || ev.Name != "events" {
+			continue
+		}
+		switch ev.Ts {
+		case 1.0:
+			sawBucket2 = true
+			if ev.Args["value"] != 1.0 {
+				t.Errorf("bucket 2 value = %v, want 1", ev.Args["value"])
+			}
+		case 1.5:
+			sawClose = true
+			if ev.Args["value"] != 0.0 {
+				t.Errorf("close-out value = %v, want 0", ev.Args["value"])
+			}
+		}
+		if ev.Ts > 1.5 {
+			t.Errorf("counter sample at ts %v beyond the close-out boundary", ev.Ts)
+		}
+	}
+	if !sawBucket2 {
+		t.Error("no sample for the partially-filled last bucket at ts 1.0")
+	}
+	if !sawClose {
+		t.Error("no series close-out sample at ts 1.5")
 	}
 }
 

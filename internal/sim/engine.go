@@ -55,6 +55,12 @@ type Options struct {
 	// node count as the machine. Nil disables all recording; the engine
 	// hooks then cost one nil-check per event/send/DRAM service.
 	Metrics *metrics.Recorder
+	// Trace, when non-nil, receives causal records: one edge per message
+	// (parent event, latency decomposition) and one record per executed
+	// event, plus named spans from the runtime (see
+	// metrics.TraceRecorder). Nil disables tracing at the same
+	// one-nil-check cost as Metrics.
+	Trace *metrics.TraceRecorder
 }
 
 // Stats aggregates measurements across a Run.
@@ -159,6 +165,8 @@ type Engine struct {
 
 	// rec is the installed metrics recorder, nil when disabled.
 	rec *metrics.Recorder
+	// tr is the installed trace recorder, nil when disabled.
+	tr *metrics.TraceRecorder
 
 	hostID  arch.NetworkID
 	hostSeq uint64
@@ -188,6 +196,10 @@ type shard struct {
 	// rec is this shard's metrics view, nil when recording is disabled.
 	// Each shard writes only the nodes it owns, so views need no locks.
 	rec *metrics.ShardView
+	// trace is this shard's causal-trace view, nil when tracing is
+	// disabled. Like rec, each shard records only events of actors it
+	// owns, so views need no locks.
+	trace *metrics.TraceView
 }
 
 // NewEngine builds an engine for machine m.
@@ -224,6 +236,7 @@ func NewEngine(m arch.Machine, opts Options) (*Engine, error) {
 		factory:   opts.LaneFactory,
 		nodeShard: make([]int32, m.Nodes),
 		rec:       opts.Metrics,
+		tr:        opts.Trace,
 	}
 	for node := 0; node < m.Nodes; node++ {
 		e.nodeShard[node] = int32(node * n / m.Nodes)
@@ -243,6 +256,9 @@ func NewEngine(m arch.Machine, opts Options) (*Engine, error) {
 		s := &shard{e: e, idx: i, outMin: math.MaxInt64}
 		if opts.Metrics != nil {
 			s.rec = opts.Metrics.Shard(i)
+		}
+		if opts.Trace != nil {
+			s.trace = opts.Trace.Shard(i)
 		}
 		if n > 1 {
 			for p := 0; p < 2; p++ {
@@ -315,6 +331,14 @@ func (e *Engine) Post(t arch.Cycles, dst arch.NetworkID, kind uint8, event, cont
 	m := Message{Deliver: t, Src: e.hostID, Seq: e.hostSeq, Dst: dst, Kind: kind, Event: event, Cont: cont, NOps: uint8(len(ops))}
 	e.hostSeq++
 	copy(m.Ops[:], ops)
+	if e.tr != nil {
+		// Root edge of a causal chain: no parent event, no transit.
+		e.tr.PostEdge(metrics.EdgeRec{
+			Src: m.Src, Seq: m.Seq, ParentSrc: -1, Dst: dst,
+			SrcNode: e.nodeOfID[m.Src], DstNode: e.nodeOfID[dst],
+			Kind: kind, SendAt: t, Deliver: t,
+		})
+	}
 	e.shards[e.shardOf(dst)].heap.push(m)
 }
 
@@ -352,6 +376,9 @@ func (e *Engine) Run() (Stats, error) {
 	}
 	if e.rec != nil {
 		e.rec.ObserveFinalTime(total.FinalTime)
+	}
+	if e.tr != nil {
+		e.tr.ObserveFinalTime(total.FinalTime)
 	}
 	if timedOut {
 		return total, fmt.Errorf("%w (MaxTime=%d)", ErrTimeout, e.maxTime)
@@ -416,6 +443,11 @@ func (s *shard) processWindow(horizon arch.Cycles) {
 		env.self = m.Dst
 		env.start = m.Deliver
 		env.charged = 0
+		if s.trace != nil {
+			// The executing message is the parent of every send made
+			// during OnMessage.
+			env.psrc, env.pseq = m.Src, m.Seq
+		}
 		a.OnMessage(&env, &m)
 		st.freeAt = m.Deliver + env.charged
 		st.busy += int64(env.charged)
@@ -436,6 +468,12 @@ func (s *shard) processWindow(horizon arch.Cycles) {
 		}
 		if s.rec != nil {
 			s.rec.Event(e.nodeOfID[m.Dst], m.Kind, m.Deliver, env.charged, st.waitqLen())
+		}
+		if s.trace != nil {
+			// m.Deliver is the actual start: the retry mechanism above
+			// bumped it to the actor's free time if it had to wait.
+			s.trace.Exec(metrics.ExecRec{Src: m.Src, Seq: m.Seq, Kind: m.Kind,
+				Start: m.Deliver, Charged: env.charged})
 		}
 		if st.waitqLen() > 0 {
 			// Release the next parked message at the actor's new
@@ -475,10 +513,20 @@ type Env struct {
 	self    arch.NetworkID
 	start   arch.Cycles
 	charged arch.Cycles
+	// psrc/pseq identify the message being executed; they parent the
+	// trace edges of sends made during OnMessage. Only maintained while
+	// tracing is enabled.
+	psrc arch.NetworkID
+	pseq uint64
 }
 
 // Machine returns the architecture description.
 func (v *Env) Machine() *arch.Machine { return &v.e.M }
+
+// Trace returns the executing shard's causal-trace view, or nil when
+// tracing is disabled. The udweave runtime and libraries use it to emit
+// named spans; actors must not retain it past OnMessage.
+func (v *Env) Trace() *metrics.TraceView { return v.shard.trace }
 
 // Self returns the executing actor's NetworkID.
 func (v *Env) Self() arch.NetworkID { return v.self }
@@ -556,6 +604,17 @@ func (v *Env) sendAt(t, extra arch.Cycles, dst arch.NetworkID, kind uint8, event
 	s.stats.Sends++
 	if s.rec != nil {
 		s.rec.Send(int32(srcNode), cross, injBacklog64, t)
+	}
+	if s.trace != nil {
+		// entry - (t + extra) is the injection-port queueing delay (zero
+		// for intra-node sends), so Deliver = SendAt+Service+Queue+Net
+		// holds exactly.
+		s.trace.Edge(metrics.EdgeRec{
+			Src: v.self, Seq: m.Seq, ParentSrc: v.psrc, ParentSeq: v.pseq,
+			Dst: dst, SrcNode: int32(srcNode), DstNode: int32(dstNode),
+			Kind: kind, SendAt: t, Service: extra, Queue: entry - (t + extra),
+			Net: lat, Deliver: deliver,
+		})
 	}
 	dstShard := int(e.nodeShard[dstNode])
 	if dstShard == s.idx {

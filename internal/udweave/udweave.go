@@ -69,7 +69,12 @@ func (p *Program) Name(l Label) string {
 // NewLane builds the lane actor for a network ID; it is the sim.Engine
 // LaneFactory for this program.
 func (p *Program) NewLane(id arch.NetworkID) sim.Actor {
-	return &Lane{p: p, id: id}
+	// Trace track: one "process" per node, one "thread" per lane (tid 0 is
+	// reserved for the node's counter tracks).
+	return &Lane{p: p, id: id,
+		pid: int32(p.M.NodeOf(id)),
+		tid: int32(int(id)%p.M.LanesPerNode()) + 1,
+	}
 }
 
 // Thread is one software-managed thread context on a lane. Events of a
@@ -90,6 +95,7 @@ type Thread struct {
 type Lane struct {
 	p        *Program
 	id       arch.NetworkID
+	pid, tid int32     // trace track (node, lane-in-node + 1)
 	threads  []*Thread // indexed by TID; nil entries are dead
 	live     int
 	freeTIDs []uint16
@@ -108,10 +114,17 @@ func (l *Lane) OnMessage(env *sim.Env, m *sim.Message) {
 		panic(fmt.Sprintf("udweave: lane %d received undefined event label %d", l.id, label))
 	}
 	tid := EvwTID(m.Event)
+	tv := env.Trace()
+	if tv != nil && !tv.SpansOn() {
+		tv = nil
+	}
 	var th *Thread
 	if tid == NewThreadTID {
 		th = l.allocThread()
 		env.Charge(l.p.M.CostThreadCreate)
+		if tv != nil {
+			tv.AsyncBegin(l.pid, l.tid, l.threadSpanID(th), "thread", env.Start())
+		}
 	} else {
 		if int(tid) >= len(l.threads) || l.threads[tid] == nil {
 			panic(fmt.Sprintf("udweave: lane %d event %q for dead thread %d", l.id, l.p.Name(label), tid))
@@ -123,6 +136,9 @@ func (l *Lane) OnMessage(env *sim.Env, m *sim.Message) {
 	l.p.handlers[label](&c)
 	if th.terminated {
 		env.Charge(l.p.M.CostThreadDealloc)
+		if tv != nil {
+			tv.AsyncEnd(l.pid, l.tid, l.threadSpanID(th), "thread", env.Now())
+		}
 		l.threads[th.TID] = nil
 		l.freeTIDs = append(l.freeTIDs, th.TID)
 		l.live--
@@ -132,6 +148,18 @@ func (l *Lane) OnMessage(env *sim.Env, m *sim.Message) {
 	} else {
 		env.Charge(l.p.M.CostThreadYield)
 	}
+	if tv != nil {
+		// One duration span per executed event, named by its handler.
+		// Event executions on a lane are serial, so the exporter can
+		// render them as B/E pairs on the lane's track.
+		tv.Span(l.pid, l.tid, l.p.names[label], env.Start(), env.Now())
+	}
+}
+
+// threadSpanID pairs a thread's lifetime begin/end span records: lane and
+// TID together are unique among simultaneously live threads.
+func (l *Lane) threadSpanID(th *Thread) uint64 {
+	return uint64(l.id)<<16 | uint64(th.TID)
 }
 
 func (l *Lane) allocThread() *Thread {
@@ -344,6 +372,69 @@ func (c *Ctx) LocalSlot(slot int, init func() any) any {
 		l.slots[slot] = init()
 	}
 	return l.slots[slot]
+}
+
+// ---- tracing ----------------------------------------------------------
+//
+// The span intrinsics below record named spans on the executing lane's
+// trace track (see metrics.TraceRecorder). They are observability only:
+// they charge no cycles and never alter simulated behavior. All are no-ops
+// unless the engine runs with span tracing enabled.
+
+// Tracing reports whether span recording is active; use it to skip span
+// name construction on hot paths.
+func (c *Ctx) Tracing() bool {
+	tv := c.env.Trace()
+	return tv != nil && tv.SpansOn()
+}
+
+// Span records a completed duration span [begin, Now] on this lane's
+// track. Spans on one lane must not partially overlap (the exporter
+// renders them as nested B/E pairs); for overlapping work use
+// TaskBegin/TaskEnd.
+func (c *Ctx) Span(name string, begin arch.Cycles) {
+	if tv := c.env.Trace(); tv != nil {
+		tv.Span(c.lane.pid, c.lane.tid, name, begin, c.env.Now())
+	}
+}
+
+// Mark records an instant event at Now on this lane's track.
+func (c *Ctx) Mark(name string) {
+	if tv := c.env.Trace(); tv != nil {
+		tv.Instant(c.lane.pid, c.lane.tid, name, c.env.Now())
+	}
+}
+
+// TaskBegin opens an async span at Now; TaskEnd with the same name and id
+// closes it. Async spans may overlap event executions and each other.
+func (c *Ctx) TaskBegin(name string, id uint64) {
+	if tv := c.env.Trace(); tv != nil {
+		tv.AsyncBegin(c.lane.pid, c.lane.tid, id, name, c.env.Now())
+	}
+}
+
+// TaskEnd closes an async span opened by TaskBegin.
+func (c *Ctx) TaskEnd(name string, id uint64) {
+	if tv := c.env.Trace(); tv != nil {
+		tv.AsyncEnd(c.lane.pid, c.lane.tid, id, name, c.env.Now())
+	}
+}
+
+// Phase opens an application phase on the program-wide phase track,
+// closing the previously open phase (applications annotate "iteration k
+// map", "round k" and so on from their driver events). A phase left open
+// at the end of the run is closed at the run's final time.
+func (c *Ctx) Phase(name string) {
+	if tv := c.env.Trace(); tv != nil {
+		tv.Phase(name, c.env.Now())
+	}
+}
+
+// PhaseEnd closes the open application phase without opening another.
+func (c *Ctx) PhaseEnd() {
+	if tv := c.env.Trace(); tv != nil {
+		tv.PhaseEnd(c.env.Now())
+	}
 }
 
 // FloatBits and BitsFloat convert between float64 values and the uint64

@@ -82,6 +82,14 @@ type Config struct {
 	// Perfetto trace. Nil keeps recording disabled and the simulator at
 	// full speed.
 	Metrics *metrics.Options
+	// Trace, when non-nil, enables the causal tracing recorder: named
+	// spans (thread lifetimes, event executions, KVMSR phases, program
+	// phases) and/or the per-message causal edge stream that feeds
+	// critical-path extraction, latency histograms and the node-to-node
+	// flow matrix. Retrievable via Machine.Trace; the zero TraceOptions
+	// value enables both span and causal recording. Nil keeps tracing
+	// disabled and the simulator at full speed.
+	Trace *metrics.TraceOptions
 }
 
 // Machine is an assembled simulated UpDown system.
@@ -95,6 +103,10 @@ type Machine struct {
 	// was set. After Run, Metrics.Profile() yields the merged per-node
 	// series; Profile.WriteTrace exports a Perfetto-loadable trace.
 	Metrics *metrics.Recorder
+	// Trace is the causal tracing recorder, nil unless Config.Trace was
+	// set. After Run, Trace.CriticalPath/Latencies/Flows analyze the
+	// causal DAG and metrics.WriteTraceFile renders the recorded spans.
+	Trace *metrics.TraceRecorder
 }
 
 // New assembles a machine.
@@ -114,17 +126,22 @@ func New(cfg Config) (*Machine, error) {
 	if cfg.Metrics != nil {
 		rec = metrics.New(a.Nodes, *cfg.Metrics)
 	}
+	var tr *metrics.TraceRecorder
+	if cfg.Trace != nil {
+		tr = metrics.NewTrace(*cfg.Trace)
+	}
 	eng, err := sim.NewEngine(a, sim.Options{
 		Shards:      cfg.Shards,
 		MaxTime:     cfg.MaxTime,
 		LaneFactory: prog.NewLane,
 		Metrics:     rec,
+		Trace:       tr,
 	})
 	if err != nil {
 		return nil, err
 	}
 	ctrls := dram.Install(eng, gas)
-	return &Machine{Arch: a, Engine: eng, GAS: gas, Prog: prog, Ctrls: ctrls, Metrics: rec}, nil
+	return &Machine{Arch: a, Engine: eng, GAS: gas, Prog: prog, Ctrls: ctrls, Metrics: rec, Trace: tr}, nil
 }
 
 // Start posts an initial event (time 0) triggering evw with the given
