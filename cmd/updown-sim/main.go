@@ -22,11 +22,22 @@
 // -flows prints the node-to-node message flow matrix:
 //
 //	updown-sim -app pr -nodes 16 -profile -trace pr.json -spans -critpath -flows
+//
+// Fault injection: -fault-spec installs a deterministic fault plan (see
+// internal/fault for the grammar) seeded by -fault-seed; -resilient
+// switches KVMSR shuffles to the acked, idempotent resilient protocol so
+// application results survive drops and duplicates; -checksum prints a
+// deterministic application-result checksum for comparing faulty runs
+// against fault-free ones:
+//
+//	updown-sim -app bfs -nodes 4 -fault-spec drop=0.05,dup=0.02 -fault-seed 7 -resilient -checksum
 package main
 
 import (
+	"encoding/binary"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"log"
 	"os"
 
@@ -37,7 +48,9 @@ import (
 	"updown/internal/apps/pagerank"
 	"updown/internal/apps/tc"
 	"updown/internal/arch"
+	"updown/internal/fault"
 	"updown/internal/graph"
+	"updown/internal/kvmsr"
 	"updown/internal/metrics"
 	"updown/internal/tform"
 )
@@ -63,7 +76,28 @@ func main() {
 	critpath := flag.Bool("critpath", false, "print the causal critical-path report and latency histograms after the run")
 	flows := flag.Bool("flows", false, "print the node-to-node message flow matrix after the run")
 	interval := flag.Int64("metrics-interval", int64(metrics.DefaultInterval), "profile sampling interval in cycles")
+	faultSpec := flag.String("fault-spec", "", "fault-injection spec, e.g. drop=0.05,dup=0.02,failstop=3@20000 (see internal/fault)")
+	faultSeed := flag.Uint64("fault-seed", 1, "seed for fault-injection verdicts (same seed+spec = bit-identical run)")
+	resilient := flag.Bool("resilient", false, "use the resilient KVMSR shuffle (acked emits, retransmission, dedup)")
+	spare := flag.Bool("spare", false, "add one machine node beyond -nodes that carries no lanes' work and no data: a safe fail-stop target")
+	checksum := flag.Bool("checksum", false, "print a deterministic application-result checksum")
 	flag.Parse()
+
+	plan, err := fault.ParseSpec(*faultSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "updown-sim:", err)
+		os.Exit(2)
+	}
+	if plan != nil {
+		plan.Seed = *faultSeed
+	}
+	var res *kvmsr.Resilience
+	if *resilient {
+		res = &kvmsr.Resilience{}
+	}
+	if plan != nil && len(plan.Rules) > 0 && res == nil {
+		fmt.Fprintln(os.Stderr, "updown-sim: warning: message faults without -resilient will lose shuffle tuples")
+	}
 
 	fl := obsFlags{
 		Profile: *profile, TracePath: *tracePath, Spans: *spans,
@@ -74,7 +108,18 @@ func main() {
 		os.Exit(2)
 	}
 
-	ar := updownArch(*nodes, *accels)
+	machNodes := *nodes
+	if *spare {
+		machNodes++
+	}
+	ar := updownArch(machNodes, *accels)
+	// With -spare, application lanes stay on the first -nodes nodes; the
+	// extra node only relays protocol traffic and can be fail-stopped
+	// without losing state. A zero LaneSet means "whole machine".
+	var appLanes kvmsr.LaneSet
+	if *spare {
+		appLanes = kvmsr.LaneSet{First: 0, Count: *nodes * ar.LanesPerNode()}
+	}
 	var mopts *metrics.Options
 	if *profile || *tracePath != "" {
 		mopts = &metrics.Options{Interval: updown.Cycles(*interval)}
@@ -82,10 +127,20 @@ func main() {
 	m, err := updown.New(updown.Config{
 		Arch: &ar, Shards: *shards, MaxTime: 1 << 46,
 		Metrics: mopts, Trace: fl.traceOptions(),
+		Fault: plan, Resilience: res,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	// resTotals is filled by apps that ran a resilient shuffle; sum is the
+	// -checksum application-result digest (bit-exact for the integer
+	// results; PageRank's float ranks are bit-exact only between runs with
+	// identical delivery schedules — the chaos harness epsilon-compares
+	// those instead).
+	var resTotals kvmsr.ResilienceTotals
+	var sum uint64
+	haveSum := false
 
 	switch *app {
 	case "pr", "bfs", "tc":
@@ -100,7 +155,7 @@ func main() {
 			split := graph.SplitWith(g, graph.SplitOptions{
 				MaxDeg: *maxDeg, Seed: graph.DefaultShuffleSeed, SpreadInEdges: true})
 			dg := mustLoad(m, split, pl)
-			a, err := pagerank.New(m, dg, pagerank.Config{Iterations: *iters})
+			a, err := pagerank.New(m, dg, pagerank.Config{Iterations: *iters, Lanes: appLanes})
 			must(err)
 			a.InitValues()
 			stats, err := a.Run()
@@ -108,9 +163,17 @@ func main() {
 			report(m, stats, a.Elapsed())
 			fmt.Printf("updates: %d (%.4f GUPS)\n", g.NumEdges()*uint64(*iters),
 				float64(g.NumEdges()*uint64(*iters))/m.Seconds(a.Elapsed())/1e9)
+			resTotals = a.ResilienceTotals()
+			if *checksum {
+				vals := make([]uint64, 0, len(a.Values()))
+				for _, r := range a.Values() {
+					vals = append(vals, updown.FloatBits(r))
+				}
+				sum, haveSum = digest(vals...), true
+			}
 		case "bfs":
 			dg := mustLoad(m, graph.Split(g, 256), pl)
-			a, err := bfs.New(m, dg, bfs.Config{Root: uint32(*root)})
+			a, err := bfs.New(m, dg, bfs.Config{Root: uint32(*root), Lanes: appLanes})
 			must(err)
 			a.InitValues()
 			stats, err := a.Run()
@@ -118,18 +181,27 @@ func main() {
 			report(m, stats, a.Elapsed())
 			fmt.Printf("rounds: %d, traversed edges: %d (%.4f GTEPS)\n",
 				a.Rounds, a.Traversed, float64(a.Traversed)/m.Seconds(a.Elapsed())/1e9)
+			resTotals = a.ResilienceTotals()
+			if *checksum {
+				sum = digest(append([]uint64{uint64(a.Rounds), a.Traversed}, a.Distances()...)...)
+				haveSum = true
+			}
 		case "tc":
 			dg := mustLoad(m, graph.Split(g, 0), pl)
-			a, err := tc.New(m, dg, tc.Config{})
+			a, err := tc.New(m, dg, tc.Config{Lanes: appLanes})
 			must(err)
 			stats, err := a.Run()
 			must(err)
 			report(m, stats, a.Elapsed())
 			fmt.Printf("intersection total: %d (%d triangles)\n", a.Total(), a.Triangles())
+			resTotals = a.ResilienceTotals()
+			if *checksum {
+				sum, haveSum = digest(a.Total()), true
+			}
 		}
 	case "ingest":
 		data, _ := tform.GenCSV(*records, 1<<24, 8, *seed)
-		a, err := ingest.New(m, data, ingest.Config{})
+		a, err := ingest.New(m, data, ingest.Config{Lanes: appLanes})
 		must(err)
 		stats, err := a.Run()
 		must(err)
@@ -137,6 +209,9 @@ func main() {
 		fmt.Printf("records: %d, phase1 %d cycles, phase2 %d cycles (%.2f MRec/s)\n",
 			a.Records, a.Phase1(), a.Phase2(),
 			float64(a.Records)/m.Seconds(a.Elapsed())/1e6)
+		if *checksum {
+			sum, haveSum = digest(a.Records), true
+		}
 	case "match":
 		_, recs := tform.GenCSV(*records, 4096, 4, *seed)
 		patterns := []match.Pattern{{Types: []uint64{0, 1}}, {Types: []uint64{2, 2}}}
@@ -150,6 +225,14 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown app %q\n", *app)
 		os.Exit(2)
+	}
+
+	if resTotals != (kvmsr.ResilienceTotals{}) {
+		fmt.Printf("resilience: emits=%d retries=%d dup-drops=%d acks=%d rekicks=%d\n",
+			resTotals.Emits, resTotals.Retries, resTotals.DupDrops, resTotals.Acks, resTotals.Rekicks)
+	}
+	if haveSum {
+		fmt.Printf("result-checksum: %016x\n", sum)
 	}
 
 	if m.Metrics != nil {
@@ -265,6 +348,23 @@ func report(m *updown.Machine, stats updown.Stats, elapsed updown.Cycles) {
 		stats.Events, stats.Sends, stats.DRAMReads, stats.DRAMWrites, stats.DRAMBytes)
 	fmt.Printf("lanes touched: %d, utilization %.1f%%\n",
 		stats.LanesTouched, 100*stats.Utilization())
+	if !stats.Faults.Zero() {
+		fmt.Printf("faults: dropped=%d dupped=%d delayed=%d dead-letters=%d stalls=%d\n",
+			stats.Faults.Dropped, stats.Faults.Dupped, stats.Faults.Delayed,
+			stats.Faults.DeadLetters, stats.Faults.Stalled)
+	}
+}
+
+// digest is an order-sensitive FNV-1a fold over the result words; two runs
+// print the same checksum iff their application results are bit-identical.
+func digest(vals ...uint64) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	for _, v := range vals {
+		binary.LittleEndian.PutUint64(b[:], v)
+		h.Write(b[:])
+	}
+	return h.Sum64()
 }
 
 func must(err error) {

@@ -1,0 +1,13 @@
+package main
+
+import "testing"
+
+// Compile-and-run smoke test: the example runs one computation under
+// three bindings and log.Fatals if any run fails to quiesce, so
+// completing at all is the assertion.
+func TestCustomBindingExampleRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example smoke test")
+	}
+	main()
+}

@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+// Compile-and-run smoke test: the example must keep working as the
+// ingestion pipeline, hash tables and pattern matcher evolve. main()
+// log.Fatals on any internal error and cross-checks the incremental
+// matcher against a sequential oracle, so completing at all is the
+// assertion.
+func TestStreamingExampleRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example smoke test")
+	}
+	main()
+}

@@ -154,11 +154,24 @@ func New(m *updown.Machine, dg *graph.DeviceGraph, cfg Config) (*App, error) {
 		ReduceEvent: kvReduce,
 		MapBinding:  kvmsr.Stride{Step: m.Arch.LanesPerAccel},
 		Lanes:       cfg.Lanes,
+		Resilience:  m.Resilience,
 	})
 	if err != nil {
 		return nil, err
 	}
 	return a, nil
+}
+
+// ResilienceTotals aggregates the resilient-shuffle counters across the
+// app's lanes (zero when Machine.Resilience is nil). Call after Run.
+func (a *App) ResilienceTotals() kvmsr.ResilienceTotals {
+	return a.inv.ResilienceTotals(a.m.LanePeek())
+}
+
+// Outstanding reports unacked resilient emits left after a run (always
+// zero for a healthy run; leak detection for the chaos harness).
+func (a *App) Outstanding() int {
+	return a.inv.Outstanding(a.m.LanePeek())
 }
 
 func maxInt(a, b int) int {

@@ -175,9 +175,13 @@ func New(m *updown.Machine, data []byte, cfg Config) (*App, error) {
 	a.lInsAck = p.Define("ingest.ins_ack", a.insAck)
 	a.lDriver = p.Define("ingest.driver", a.driver)
 
+	// Both phases are map-only (records flow through reliable split-phase
+	// DRAM and SHT traffic, not the shuffle), so Resilience is accepted
+	// but has nothing to protect; kvmsr ignores it without a ReduceEvent.
 	a.parseInv, err = kvmsr.New(p, kvmsr.Spec{
 		Name: "ingest.phase1", NumKeys: uint64(a.blocks),
 		MapEvent: parseBody, Lanes: cfg.Lanes,
+		Resilience: m.Resilience,
 	})
 	if err != nil {
 		return nil, err
@@ -185,6 +189,7 @@ func New(m *updown.Machine, data []byte, cfg Config) (*App, error) {
 	a.insertInv, err = kvmsr.New(p, kvmsr.Spec{
 		Name: "ingest.phase2", NumKeys: uint64(a.blocks),
 		MapEvent: insertBody, Lanes: cfg.Lanes,
+		Resilience: m.Resilience,
 	})
 	if err != nil {
 		return nil, err

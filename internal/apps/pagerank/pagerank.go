@@ -142,6 +142,7 @@ func New(m *updown.Machine, dg *graph.DeviceGraph, cfg Config) (*App, error) {
 		Name: "pr.main", NumKeys: uint64(dg.G.N),
 		MapEvent: kvMap, ReduceEvent: kvReduce,
 		Lanes: cfg.Lanes, MaxOutstanding: cfg.MaxOutstanding,
+		Resilience: m.Resilience,
 	})
 	if err != nil {
 		return nil, err
@@ -161,6 +162,13 @@ func New(m *updown.Machine, dg *graph.DeviceGraph, cfg Config) (*App, error) {
 		return nil, err
 	}
 	return a, nil
+}
+
+// ResilienceTotals aggregates the resilient-shuffle counters across the
+// app's lanes (zero when Machine.Resilience is nil). Only the main
+// scatter invocation shuffles; flush/apply are map-only. Call after Run.
+func (a *App) ResilienceTotals() kvmsr.ResilienceTotals {
+	return a.mainInv.ResilienceTotals(a.m.LanePeek())
 }
 
 // InitValues writes the uniform starting vector (host-side setup).

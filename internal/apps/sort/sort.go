@@ -133,6 +133,7 @@ func New(m *updown.Machine, input []uint64, cfg Config) (*App, error) {
 		MapEvent: mapBody, ReduceEvent: a.lInsert,
 		ReduceBinding: kvmsr.ReduceFunc(a.bucketOwner),
 		Lanes:         cfg.Lanes,
+		Resilience:    m.Resilience,
 	})
 	if err != nil {
 		return nil, err
@@ -147,6 +148,12 @@ func New(m *updown.Machine, input []uint64, cfg Config) (*App, error) {
 		return nil, err
 	}
 	return a, nil
+}
+
+// ResilienceTotals aggregates the resilient-shuffle counters across the
+// app's lanes (zero when Machine.Resilience is nil). Call after Run.
+func (a *App) ResilienceTotals() kvmsr.ResilienceTotals {
+	return a.mainInv.ResilienceTotals(a.m.LanePeek())
 }
 
 func maxInt(a, b int) int {

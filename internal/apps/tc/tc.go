@@ -113,6 +113,7 @@ func New(m *updown.Machine, dg *graph.DeviceGraph, cfg Config) (*App, error) {
 		Name: "tc.main", NumKeys: uint64(dg.G.N),
 		MapEvent: kvMap, ReduceEvent: kvReduce, MapBinding: mb,
 		Lanes: cfg.Lanes, MaxOutstanding: cfg.MaxOutstanding,
+		Resilience: m.Resilience,
 	})
 	if err != nil {
 		return nil, err
@@ -135,6 +136,12 @@ func New(m *updown.Machine, dg *graph.DeviceGraph, cfg Config) (*App, error) {
 func (a *App) Run() (updown.Stats, error) {
 	a.m.Start(updown.EvwNew(a.cfg.Lanes.First, a.lDriver))
 	return a.m.Run()
+}
+
+// ResilienceTotals aggregates the resilient-shuffle counters across the
+// app's lanes (zero when Machine.Resilience is nil). Call after Run.
+func (a *App) ResilienceTotals() kvmsr.ResilienceTotals {
+	return a.mainInv.ResilienceTotals(a.m.LanePeek())
 }
 
 // Elapsed returns the simulated cycles of the measured region.

@@ -45,6 +45,12 @@ const (
 	KindDRAMFetchAddF
 	// KindControl messages drive auxiliary actors (stream sources).
 	KindControl
+	// KindEventU is an UDWeave event on the unreliable message class:
+	// lanes process it exactly like KindEvent, but the fault-injection
+	// layer (internal/fault) may drop, duplicate or delay it. Protocols
+	// that carry their own ack/retry/dedup machinery (resilient KVMSR)
+	// send on this class; everything else stays on the reliable kinds.
+	KindEventU
 )
 
 // Machine holds every architectural parameter of a simulated UpDown system.

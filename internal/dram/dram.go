@@ -111,6 +111,9 @@ func (c *Controller) service(env *sim.Env, bytes int64) arch.Cycles {
 	if xfer < 1 {
 		xfer = 1
 	}
+	// Fault injection can degrade a node's effective DRAM bandwidth by an
+	// integer factor (1 when no plan is installed).
+	xfer *= env.DRAMSlowdown()
 	c.busy64 += xfer
 	c.Bytes += bytes
 	env.AddDRAMTraffic(bytes, c.busy64)

@@ -1,9 +1,10 @@
 package gasmem
 
 import (
-	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"updown/internal/prng"
 )
 
 func TestDRAMmallocBasics(t *testing.T) {
@@ -217,8 +218,8 @@ func TestReadWriteWords(t *testing.T) {
 // Property: every address in a region translates to a participating node,
 // and distinct addresses never alias the same (node, physical) pair.
 func TestTranslationProperties(t *testing.T) {
-	f := func(seed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
+	f := func(seed uint64) bool {
+		rng := prng.NewStream(seed)
 		nodes := 1 << (1 + rng.Intn(4)) // 2..16
 		g := New(nodes, 1<<30)
 		first := rng.Intn(nodes)
@@ -238,7 +239,7 @@ func TestTranslationProperties(t *testing.T) {
 		seen := map[[2]uint64]bool{}
 		seenOff := map[uint64]bool{}
 		for i := 0; i < 512; i++ {
-			off := uint64(rng.Int63n(int64(size/8))) * 8
+			off := rng.Uint64n(size/8) * 8
 			if seenOff[off] {
 				continue
 			}

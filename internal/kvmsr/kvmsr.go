@@ -64,6 +64,13 @@ type Spec struct {
 	Lanes LaneSet
 	// MaxOutstanding caps in-flight map tasks per lane (0 = default).
 	MaxOutstanding int
+	// Resilience, when non-nil, routes emitted tuples through the
+	// resilient shuffle (acks, retransmission with backoff, idempotent
+	// apply — see resilience.go), so the invocation survives message
+	// drop/duplication/delay injected by internal/fault. Ignored for
+	// map-only invocations (ReduceEvent zero), whose shuffle carries no
+	// tuples.
+	Resilience *Resilience
 }
 
 // laneState is the per-lane, per-invocation bookkeeping kept in lane-local
@@ -116,6 +123,11 @@ type laneState struct {
 	poolNext uint64
 	poolEnd  uint64
 	probing  bool
+	// lastProbeSum/noProgress drive the straggler detector: consecutive
+	// termination probes that report the same (short) reduce sum mean
+	// outstanding shuffle work is stuck, so the master re-kicks lanes.
+	lastProbeSum uint64
+	noProgress   int
 	// launches numbers the invocation's launches; it pairs the per-launch
 	// phase spans (tracing only).
 	launches uint64
@@ -147,12 +159,23 @@ type Invocation struct {
 	lMoreWork    udweave.Label
 	lGrant       udweave.Label
 
+	// Resilient-shuffle registration (nil res means the classic reliable
+	// shuffle; see resilience.go).
+	res         *Resilience
+	rslot       int
+	lRedDeliver udweave.Label
+	lAck        udweave.Label
+	lGuard      udweave.Label
+	lRekick     udweave.Label
+
 	// Precomputed span names (tracing): per-emit instants, per-lane map
 	// windows, and per-launch master phases.
 	nameEmit       string
 	nameMapWin     string
 	namePhaseMap   string
 	namePhaseDrain string
+	nameRetry      string
+	nameDupDrop    string
 }
 
 var invSeq int
@@ -199,8 +222,22 @@ func New(p *udweave.Program, s Spec) (*Invocation, error) {
 	v.nameMapWin = n + ".map_window"
 	v.namePhaseMap = n + ".map_phase"
 	v.namePhaseDrain = n + ".drain_phase"
+	v.nameRetry = n + ".retry"
+	v.nameDupDrop = n + ".dup_drop"
+	if s.Resilience != nil && s.ReduceEvent != 0 {
+		res := s.Resilience.withDefaults(p.M)
+		v.res = &res
+		v.rslot = p.AllocSlot()
+		v.lRedDeliver = p.Define(n+".red_deliver", v.redDeliver)
+		v.lAck = p.Define(n+".emit_ack", v.ack)
+		v.lGuard = p.Define(n+".guard", v.guard)
+		v.lRekick = p.Define(n+".rekick", v.rekick)
+	}
 	return v, nil
 }
+
+// Resilient reports whether the invocation uses the resilient shuffle.
+func (v *Invocation) Resilient() bool { return v.res != nil }
 
 // MustNew is New, panicking on error (program construction helper).
 func MustNew(p *udweave.Program, s Spec) *Invocation {
@@ -261,6 +298,11 @@ func (v *Invocation) Emit(c *udweave.Ctx, key uint64, vals ...uint64) {
 	var buf [8]uint64
 	buf[0] = key
 	n := copy(buf[1:], vals)
+	if v.res != nil {
+		checkResilientVals(v.s.Name, vals)
+		v.sendResilient(c, target, buf[:1+n])
+		return
+	}
 	c.SendEvent(udweave.EvwNew(target, v.s.ReduceEvent), udweave.IGNRCONT, buf[:1+n]...)
 }
 
@@ -280,6 +322,11 @@ func (v *Invocation) SendReduce(c *udweave.Ctx, key uint64, vals ...uint64) {
 	var buf [8]uint64
 	buf[0] = key
 	n := copy(buf[1:], vals)
+	if v.res != nil {
+		checkResilientVals(v.s.Name, vals)
+		v.sendResilient(c, target, buf[:1+n])
+		return
+	}
 	c.SendEvent(udweave.EvwNew(target, v.s.ReduceEvent), udweave.IGNRCONT, buf[:1+n]...)
 }
 
@@ -329,6 +376,8 @@ func (v *Invocation) masterStart(c *udweave.Ctx) {
 	st.poolNext = v.s.MapBinding.poolStart(v.s.Lanes.Count, numKeys)
 	st.poolEnd = numKeys
 	st.probing = false
+	st.lastProbeSum = 0
+	st.noProgress = 0
 	st.launches++
 	c.TaskBegin(v.namePhaseMap, st.launches)
 	c.Cycles(10)
@@ -608,9 +657,32 @@ func (v *Invocation) replyMaster(c *udweave.Ctx) {
 	c.Cycles(3)
 	if st.mpCnt == v.s.Lanes.NumNodes(v.p.M) {
 		if st.mpSum == st.mEmit {
+			st.noProgress = 0
 			v.complete(c, st)
 		} else {
-			// Reduces still in flight: back off and re-probe.
+			// Reduces still in flight: back off and re-probe. Under the
+			// resilient shuffle the master doubles as the straggler
+			// detector: a run of probes with no forward progress means
+			// shuffle work is stuck (lost retransmissions, a stalled
+			// lane), so re-kick every lane to resend its outstanding
+			// emits immediately.
+			if v.res != nil {
+				if st.mpSum == st.lastProbeSum {
+					st.noProgress++
+				} else {
+					st.noProgress = 0
+					st.lastProbeSum = st.mpSum
+				}
+				if st.noProgress >= v.res.StragglerProbes {
+					st.noProgress = 0
+					v.rst(c).totals.Rekicks++
+					c.Cycles(4)
+					for lane := v.s.Lanes.First; lane < v.s.Lanes.End(); lane++ {
+						c.Cycles(1)
+						c.SendEvent(udweave.EvwNew(lane, v.lRekick), udweave.IGNRCONT)
+					}
+				}
+			}
 			c.SendEventAfter(probeRetryDelay,
 				udweave.EvwNew(v.s.Lanes.First, v.lRetryProbe), udweave.IGNRCONT)
 		}

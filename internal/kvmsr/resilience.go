@@ -1,0 +1,313 @@
+// Resilient shuffle for KVMSR: when Spec.Resilience is set, every emitted
+// tuple travels on the unreliable message class (arch.KindEventU) wrapped
+// in an at-least-once delivery protocol — per-lane sequence-numbered
+// emits, explicit acks, a guard thread that retransmits overdue emits
+// with capped exponential backoff, and idempotent apply at the reducer
+// via a per-sender sliding dedup window. The invocation master doubles as
+// a straggler detector: when termination probes stop making progress it
+// re-kicks every lane, forcing an immediate retransmission of all
+// outstanding shuffle work.
+//
+// The net contract: under any fault plan that eventually delivers some
+// retransmission (message drop/dup/delay at any rate below 1), a
+// resilient invocation applies every logical emit exactly once, so
+// application results are identical to a fault-free run.
+package kvmsr
+
+import (
+	"fmt"
+	"sort"
+
+	"updown/internal/arch"
+	"updown/internal/sim"
+	"updown/internal/udweave"
+)
+
+// Resilience configures the resilient shuffle. The zero value of each
+// field selects a default at registration time.
+type Resilience struct {
+	// RetryTimeout is the base ack deadline before an emit is
+	// retransmitted; it doubles per failed attempt. Zero selects
+	// 8 x the machine's cross-node latency.
+	RetryTimeout arch.Cycles
+	// BackoffCap bounds the exponential backoff to RetryTimeout<<cap.
+	// Zero selects 6 (64x base).
+	BackoffCap int
+	// StragglerProbes is the number of consecutive no-progress
+	// termination probes after which the master re-kicks all lanes.
+	// Zero selects 8.
+	StragglerProbes int
+}
+
+// withDefaults resolves zero fields against machine m.
+func (r Resilience) withDefaults(m arch.Machine) Resilience {
+	if r.RetryTimeout <= 0 {
+		r.RetryTimeout = 8 * m.LatCrossNode
+	}
+	if r.BackoffCap <= 0 {
+		r.BackoffCap = 6
+	}
+	if r.StragglerProbes <= 0 {
+		r.StragglerProbes = 8
+	}
+	return r
+}
+
+// ResilienceTotals aggregates the protocol's counters across a lane set
+// (see Invocation.ResilienceTotals).
+type ResilienceTotals struct {
+	// Emits counts logical resilient emits (first transmissions).
+	Emits int64
+	// Retries counts retransmissions (guard timeouts plus re-kicks).
+	Retries int64
+	// DupDrops counts tuples discarded by the reducer's dedup window.
+	DupDrops int64
+	// Acks counts acks that retired a pending emit.
+	Acks int64
+	// Rekicks counts straggler re-kick rounds triggered by the master.
+	Rekicks int64
+}
+
+// Add accumulates o into t.
+func (t *ResilienceTotals) Add(o ResilienceTotals) {
+	t.Emits += o.Emits
+	t.Retries += o.Retries
+	t.DupDrops += o.DupDrops
+	t.Acks += o.Acks
+	t.Rekicks += o.Rekicks
+}
+
+// pendingEmit is one unacked tuple held by the sending lane, stored
+// resend-ready (ops already carry the trailing emit ID).
+type pendingEmit struct {
+	target   arch.NetworkID
+	sentAt   arch.Cycles
+	attempts int
+	nops     int
+	ops      [sim.MaxOperands]uint64
+}
+
+// srcWindow is the reducer-side dedup state for one sender: every ID at
+// or below w has been applied; pend holds applied IDs above the
+// watermark until the gap closes.
+type srcWindow struct {
+	w    uint64
+	pend map[uint64]struct{}
+}
+
+// resilState is the per-lane, per-invocation resilience bookkeeping,
+// kept in its own lane-local slot.
+type resilState struct {
+	// sender side
+	nextID  uint64
+	out     map[uint64]*pendingEmit
+	guardOn bool
+	// reducer side
+	seen   map[arch.NetworkID]*srcWindow
+	totals ResilienceTotals
+}
+
+// rst returns the lane-local resilience state for this invocation.
+func (v *Invocation) rst(c *udweave.Ctx) *resilState {
+	return c.LocalSlot(v.rslot, func() any {
+		return &resilState{out: make(map[uint64]*pendingEmit)}
+	}).(*resilState)
+}
+
+// admit records (src, id) and reports whether it is the first delivery.
+func (rs *resilState) admit(src arch.NetworkID, id uint64) bool {
+	if rs.seen == nil {
+		rs.seen = make(map[arch.NetworkID]*srcWindow)
+	}
+	sw := rs.seen[src]
+	if sw == nil {
+		sw = &srcWindow{pend: make(map[uint64]struct{})}
+		rs.seen[src] = sw
+	}
+	if id <= sw.w {
+		return false
+	}
+	if _, dup := sw.pend[id]; dup {
+		return false
+	}
+	sw.pend[id] = struct{}{}
+	for {
+		if _, ok := sw.pend[sw.w+1]; !ok {
+			break
+		}
+		delete(sw.pend, sw.w+1)
+		sw.w++
+	}
+	return true
+}
+
+// sendResilient transmits one tuple on the unreliable class, registers it
+// as pending, and ensures the guard thread is running. buf carries
+// [key, vals...]; the emit ID is appended as the trailing operand.
+func (v *Invocation) sendResilient(c *udweave.Ctx, target arch.NetworkID, buf []uint64) {
+	rs := v.rst(c)
+	rs.nextID++
+	id := rs.nextID
+	pe := &pendingEmit{target: target, sentAt: c.Now(), attempts: 1, nops: len(buf) + 1}
+	copy(pe.ops[:], buf)
+	pe.ops[len(buf)] = id
+	rs.out[id] = pe
+	rs.totals.Emits++
+	c.ScratchAccess(2)
+	c.SendEventU(udweave.EvwNew(target, v.lRedDeliver), udweave.IGNRCONT, pe.ops[:pe.nops]...)
+	if !rs.guardOn {
+		rs.guardOn = true
+		c.Cycles(2)
+		c.SendEvent(udweave.EvwNew(c.NetworkID(), v.lGuard), udweave.IGNRCONT)
+	}
+}
+
+// resend retransmits one pending emit.
+func (v *Invocation) resend(c *udweave.Ctx, rs *resilState, pe *pendingEmit) {
+	pe.attempts++
+	pe.sentAt = c.Now()
+	rs.totals.Retries++
+	c.Cycles(3)
+	if c.Tracing() {
+		c.Mark(v.nameRetry)
+	}
+	c.SendEventU(udweave.EvwNew(pe.target, v.lRedDeliver), udweave.IGNRCONT, pe.ops[:pe.nops]...)
+}
+
+// sortedPending returns the lane's outstanding emit IDs in ascending
+// order; map iteration order must never leak into simulated behavior.
+func sortedPending(rs *resilState) []uint64 {
+	ids := make([]uint64, 0, len(rs.out))
+	for id := range rs.out {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	return ids
+}
+
+// guard is the sender-side watchdog thread: it wakes every RetryTimeout
+// cycles (via the udweave timeout continuation), retransmits emits whose
+// backoff deadline passed, and terminates once everything is acked.
+func (v *Invocation) guard(c *udweave.Ctx) {
+	rs := v.rst(c)
+	if len(rs.out) == 0 {
+		rs.guardOn = false
+		c.Cycles(2)
+		c.YieldTerminate()
+		return
+	}
+	now := c.Now()
+	c.Cycles(4)
+	for _, id := range sortedPending(rs) {
+		pe := rs.out[id]
+		shift := pe.attempts - 1
+		if shift > v.res.BackoffCap {
+			shift = v.res.BackoffCap
+		}
+		if now-pe.sentAt >= v.res.RetryTimeout<<uint(shift) {
+			v.resend(c, rs, pe)
+		}
+	}
+	c.ArmTimeout(v.res.RetryTimeout, v.lGuard)
+}
+
+// rekick is the straggler-recovery broadcast target: retransmit every
+// outstanding emit immediately, ignoring backoff.
+func (v *Invocation) rekick(c *udweave.Ctx) {
+	rs := v.rst(c)
+	c.Cycles(3)
+	for _, id := range sortedPending(rs) {
+		v.resend(c, rs, rs.out[id])
+	}
+	c.YieldTerminate()
+}
+
+// ack retires a pending emit on the sending lane. Late duplicates of an
+// ack (or acks for already-retired retransmissions) are ignored.
+func (v *Invocation) ack(c *udweave.Ctx) {
+	rs := v.rst(c)
+	id := c.Op(0)
+	c.ScratchAccess(1)
+	if _, ok := rs.out[id]; ok {
+		delete(rs.out, id)
+		rs.totals.Acks++
+	}
+	c.YieldTerminate()
+}
+
+// redDeliver is the reducer-side delivery shim: ack the sender (every
+// time — the retransmission may mean the previous ack was lost), dedup
+// by (sender, emit ID), and hand first deliveries to the user's
+// kv_reduce handler with the protocol metadata stripped.
+func (v *Invocation) redDeliver(c *udweave.Ctx) {
+	rs := v.rst(c)
+	n := c.NOps()
+	id := c.Op(n - 1)
+	src := c.Src()
+	c.Cycles(4)
+	c.SendEventU(udweave.EvwNew(src, v.lAck), udweave.IGNRCONT, id)
+	if !rs.admit(src, id) {
+		rs.totals.DupDrops++
+		if c.Tracing() {
+			c.Mark(v.nameDupDrop)
+		}
+		c.YieldTerminate()
+		return
+	}
+	c.TruncateOps(n - 1)
+	c.Invoke(v.s.ReduceEvent)
+}
+
+// ResilienceTotals sums the protocol counters over the invocation's lane
+// set after a run. peek resolves a lane to its actor (pass
+// updown.Machine's lane peek or sim.Engine.PeekActor); lanes the program
+// never touched contribute nothing. Returns the zero value for
+// non-resilient invocations.
+func (v *Invocation) ResilienceTotals(peek func(arch.NetworkID) any) ResilienceTotals {
+	var t ResilienceTotals
+	if v.res == nil {
+		return t
+	}
+	for lane := v.s.Lanes.First; lane < v.s.Lanes.End(); lane++ {
+		a, _ := peek(lane).(interface{ SlotPeek(int) any })
+		if a == nil {
+			continue
+		}
+		rs, _ := a.SlotPeek(v.rslot).(*resilState)
+		if rs == nil {
+			continue
+		}
+		t.Add(rs.totals)
+	}
+	return t
+}
+
+// Outstanding reports the number of unacked emits still pending on one
+// lane (testing and leak detection: a drained invocation leaves zero).
+func (v *Invocation) Outstanding(peek func(arch.NetworkID) any) int {
+	if v.res == nil {
+		return 0
+	}
+	n := 0
+	for lane := v.s.Lanes.First; lane < v.s.Lanes.End(); lane++ {
+		a, _ := peek(lane).(interface{ SlotPeek(int) any })
+		if a == nil {
+			continue
+		}
+		if rs, _ := a.SlotPeek(v.rslot).(*resilState); rs != nil {
+			n += len(rs.out)
+		}
+	}
+	return n
+}
+
+// maxResilientVals is the value budget of a resilient emit: one operand
+// goes to the key and one to the trailing emit ID.
+const maxResilientVals = sim.MaxOperands - 2
+
+func checkResilientVals(name string, vals []uint64) {
+	if len(vals) > maxResilientVals {
+		panic(fmt.Sprintf("kvmsr: %s: resilient Emit with %d values (max %d: one operand is reserved for the emit ID)",
+			name, len(vals), maxResilientVals))
+	}
+}

@@ -1,0 +1,199 @@
+package kvmsr_test
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"updown"
+	"updown/internal/fault"
+	"updown/internal/kvmsr"
+)
+
+// chaosRun executes one wordcount-style map/shuffle/reduce job and
+// returns the per-reduce-key value sums, the per-reduce-key application
+// counts, the final simulated time, and the run's fault + resilience
+// counters. The job is fully deterministic, so any two calls with the
+// same (plan, shards, resilient) must agree wherever the protocol
+// guarantees it.
+func chaosRun(t *testing.T, plan *fault.Plan, shards int, resilient bool) (
+	sums, applies []uint64, final updown.Cycles, fc fault.Counts, rt kvmsr.ResilienceTotals) {
+	t.Helper()
+	cfg := updown.Config{Nodes: 2, Shards: shards, MaxTime: 1 << 36, Fault: plan}
+	if resilient {
+		cfg.Resilience = &kvmsr.Resilience{}
+	}
+	m, err := updown.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		nKeys       = 1200
+		emitsPerKey = 3
+		reduceKeys  = 97
+	)
+	sums = make([]uint64, reduceKeys)
+	applies = make([]uint64, reduceKeys)
+	var inv *kvmsr.Invocation
+	mapEv := m.Prog.Define("chaos_map", func(c *updown.Ctx) {
+		key := c.Op(0)
+		c.Cycles(10)
+		for i := uint64(0); i < emitsPerKey; i++ {
+			inv.Emit(c, (key*emitsPerKey+i)%reduceKeys, key*31+i)
+		}
+		inv.Return(c, c.Cont())
+		c.YieldTerminate()
+	})
+	reduceEv := m.Prog.Define("chaos_reduce", func(c *updown.Ctx) {
+		c.Cycles(8)
+		atomic.AddUint64(&sums[c.Op(0)], c.Op(1))
+		atomic.AddUint64(&applies[c.Op(0)], 1)
+		inv.ReduceDone(c)
+		c.YieldTerminate()
+	})
+	done := m.Prog.Define("chaos_done", func(c *updown.Ctx) { c.YieldTerminate() })
+	inv = kvmsr.MustNew(m.Prog, kvmsr.Spec{
+		Name: "chaos", MapEvent: mapEv, ReduceEvent: reduceEv,
+		Lanes:      kvmsr.AllLanes(m.Arch),
+		Resilience: m.Resilience,
+	})
+	m.StartWithCont(inv.LaunchEvw(), updown.EvwNew(m.Arch.LaneID(0, 0, 0), done), nKeys)
+	stats, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := inv.Outstanding(m.LanePeek()); out != 0 {
+		t.Fatalf("%d emits still unacked after quiescence", out)
+	}
+	return sums, applies, stats.FinalTime, stats.Faults, inv.ResilienceTotals(m.LanePeek())
+}
+
+func mustPlan(t *testing.T, spec string, seed uint64) *fault.Plan {
+	t.Helper()
+	plan, err := fault.ParseSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan.Seed = seed
+	return plan
+}
+
+func eqU64(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// The headline guarantee: with drops, duplicates and delays on the
+// shuffle class, a resilient invocation produces exactly the fault-free
+// application results — every logical emit applied exactly once.
+func TestResilientShuffleExactUnderFaults(t *testing.T) {
+	plan := mustPlan(t, "drop=0.05,dup=0.02,delay=0.05:800", 42)
+	goldenSums, goldenApplies, _, _, _ := chaosRun(t, nil, 1, true)
+	sums, applies, _, fc, rt := chaosRun(t, plan, 1, true)
+	if !eqU64(sums, goldenSums) {
+		t.Fatal("reduce sums diverged from fault-free run")
+	}
+	if !eqU64(applies, goldenApplies) {
+		t.Fatal("reduce application counts diverged from fault-free run")
+	}
+	if fc.Dropped == 0 || fc.Dupped == 0 || fc.Delayed == 0 {
+		t.Fatalf("fault plan had no effect: %+v", fc)
+	}
+	if rt.Retries == 0 {
+		t.Fatal("drops occurred but no retransmissions were recorded")
+	}
+	if rt.DupDrops == 0 {
+		t.Fatal("duplicates occurred but the dedup window dropped nothing")
+	}
+	if rt.Acks != rt.Emits {
+		t.Fatalf("acks (%d) != logical emits (%d)", rt.Acks, rt.Emits)
+	}
+}
+
+// Identical seed + spec must be byte-identical at any shard count:
+// results, final simulated time, fault verdict counts, and the protocol
+// counters all agree across 1, 2 and GOMAXPROCS shards.
+func TestResilientShuffleShardInvariance(t *testing.T) {
+	plan := mustPlan(t, "drop=0.04,dup=0.02", 7)
+	refSums, refApplies, refFinal, refFC, refRT := chaosRun(t, plan, 1, true)
+	for _, shards := range []int{2, runtime.GOMAXPROCS(0)} {
+		sums, applies, final, fc, rt := chaosRun(t, plan, shards, true)
+		if !eqU64(sums, refSums) || !eqU64(applies, refApplies) {
+			t.Fatalf("shards=%d: application results diverged", shards)
+		}
+		if final != refFinal {
+			t.Fatalf("shards=%d: final time %d != %d", shards, final, refFinal)
+		}
+		if fc != refFC {
+			t.Fatalf("shards=%d: fault counts %+v != %+v", shards, fc, refFC)
+		}
+		if rt != refRT {
+			t.Fatalf("shards=%d: resilience totals %+v != %+v", shards, rt, refRT)
+		}
+	}
+}
+
+// A fail-stopped spare node (outside the app's lane set) must not perturb
+// application results; faults that can reach app lanes still recover.
+func TestFailStopSpareNode(t *testing.T) {
+	run := func(plan *fault.Plan) []uint64 {
+		cfg := updown.Config{Nodes: 2, Shards: 1, MaxTime: 1 << 36, Fault: plan,
+			Resilience: &kvmsr.Resilience{}}
+		m, err := updown.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const nKeys = 400
+		sums := make([]uint64, 53)
+		var inv *kvmsr.Invocation
+		mapEv := m.Prog.Define("fs_map", func(c *updown.Ctx) {
+			inv.Emit(c, c.Op(0)%53, c.Op(0)+1)
+			inv.Return(c, c.Cont())
+			c.YieldTerminate()
+		})
+		reduceEv := m.Prog.Define("fs_reduce", func(c *updown.Ctx) {
+			atomic.AddUint64(&sums[c.Op(0)], c.Op(1))
+			inv.ReduceDone(c)
+			c.YieldTerminate()
+		})
+		done := m.Prog.Define("fs_done", func(c *updown.Ctx) { c.YieldTerminate() })
+		// Restrict the app to node 0: node 1 is the spare that fail-stops.
+		lanes := kvmsr.LaneSet{First: 0, Count: m.Arch.LanesPerNode()}
+		inv = kvmsr.MustNew(m.Prog, kvmsr.Spec{
+			Name: "fs", MapEvent: mapEv, ReduceEvent: reduceEv,
+			Lanes: lanes, Resilience: m.Resilience,
+		})
+		m.StartWithCont(inv.LaunchEvw(), updown.EvwNew(0, done), nKeys)
+		if _, err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return sums
+	}
+	plan := mustPlan(t, "drop=0.05,failstop=1@100000", 11)
+	if !eqU64(run(plan), run(nil)) {
+		t.Fatal("results diverged with a fail-stopped spare node")
+	}
+}
+
+// With resilience on but no fault plan, results match the classic
+// (non-resilient) shuffle and the protocol records no recovery activity.
+func TestResilientMatchesClassicWithoutFaults(t *testing.T) {
+	classicSums, classicApplies, _, _, _ := chaosRun(t, nil, 1, false)
+	sums, applies, _, _, rt := chaosRun(t, nil, 1, true)
+	if !eqU64(sums, classicSums) || !eqU64(applies, classicApplies) {
+		t.Fatal("resilient fault-free results diverged from classic shuffle")
+	}
+	if rt.DupDrops != 0 {
+		t.Fatalf("dedup dropped %d tuples on a perfect fabric", rt.DupDrops)
+	}
+	if rt.Acks != rt.Emits {
+		t.Fatalf("acks (%d) != emits (%d) on a perfect fabric", rt.Acks, rt.Emits)
+	}
+}

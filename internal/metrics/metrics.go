@@ -28,6 +28,7 @@ import (
 	"strings"
 
 	"updown/internal/arch"
+	"updown/internal/fault"
 )
 
 // DefaultInterval is the sampling bucket width used when Options.Interval
@@ -125,6 +126,7 @@ type Recorder struct {
 	nodes     []NodeSeries
 	views     []*ShardView
 	finalTime arch.Cycles
+	faults    fault.Counts
 }
 
 // New builds a recorder for a machine with the given node count.
@@ -164,6 +166,11 @@ func (r *Recorder) ObserveFinalTime(t arch.Cycles) {
 		r.finalTime = t
 	}
 }
+
+// ObserveFaults records the run's cumulative injected-fault counts; the
+// engine calls it after every Run with the accumulated totals (like
+// ObserveFinalTime, later calls replace earlier ones).
+func (r *Recorder) ObserveFaults(c fault.Counts) { r.faults = c }
 
 // ShardView is the per-engine-shard write interface. A view writes only to
 // nodes its shard owns, which makes the recorder race-free without locks.
@@ -234,13 +241,16 @@ type Profile struct {
 	// Kinds is the per-message-kind breakdown, indexed by the arch.Kind*
 	// constants; index 7 collects unknown kinds.
 	Kinds [nKinds]KindStat
+	// Fault is the cumulative injected-fault count (all-zero when fault
+	// injection was disabled).
+	Fault fault.Counts
 }
 
 // Profile merges the shard views into a deterministic snapshot. The node
 // series are shared with the recorder, not copied; take the profile after
 // the run, not during it.
 func (r *Recorder) Profile() *Profile {
-	p := &Profile{Interval: r.interval, FinalTime: r.finalTime, Nodes: r.nodes}
+	p := &Profile{Interval: r.interval, FinalTime: r.finalTime, Nodes: r.nodes, Fault: r.faults}
 	for _, v := range r.views {
 		for k := range v.kinds {
 			p.Kinds[k].Count += v.kinds[k].Count
@@ -265,6 +275,8 @@ func KindName(k int) string {
 		return "dram-faddf"
 	case arch.KindControl:
 		return "control"
+	case arch.KindEventU:
+		return "event-u"
 	default:
 		return fmt.Sprintf("kind-%d", k)
 	}
@@ -355,6 +367,10 @@ func (p *Profile) WriteText(w io.Writer) error {
 			continue
 		}
 		fmt.Fprintf(&b, "%-12s %12d %14d\n", KindName(k), p.Kinds[k].Count, p.Kinds[k].Cycles)
+	}
+	if !p.Fault.Zero() {
+		fmt.Fprintf(&b, "faults: dropped=%d dupped=%d delayed=%d dead-letters=%d stalls=%d\n",
+			p.Fault.Dropped, p.Fault.Dupped, p.Fault.Delayed, p.Fault.DeadLetters, p.Fault.Stalled)
 	}
 	type row struct {
 		node int

@@ -22,6 +22,7 @@ import (
 	"runtime"
 
 	"updown/internal/arch"
+	"updown/internal/fault"
 	"updown/internal/metrics"
 )
 
@@ -38,6 +39,31 @@ type Actor interface {
 // which almost always indicates a livelocked program (for example a
 // termination poll that is never satisfied).
 var ErrTimeout = errors.New("sim: simulated time exceeded MaxTime")
+
+// TimeoutError is the concrete error Run returns when simulated time
+// exceeds Options.MaxTime. It wraps ErrTimeout (so errors.Is(err,
+// ErrTimeout) keeps working) and records where the run stalled, which
+// turns a bare "timed out" into a debuggable report: when the next
+// pending message would have been delivered and how many messages were
+// still queued at expiry.
+type TimeoutError struct {
+	// MaxTime is the bound that was exceeded.
+	MaxTime arch.Cycles
+	// NextEvent is the earliest pending delivery time past the bound
+	// (zero if the queues were empty, which indicates a driver bug).
+	NextEvent arch.Cycles
+	// Pending is the number of messages still queued at expiry,
+	// including messages parked behind busy actors.
+	Pending int
+}
+
+func (t *TimeoutError) Error() string {
+	return fmt.Sprintf("sim: simulated time exceeded MaxTime=%d (next event at %d, %d pending)",
+		t.MaxTime, t.NextEvent, t.Pending)
+}
+
+// Unwrap makes errors.Is(err, ErrTimeout) succeed.
+func (t *TimeoutError) Unwrap() error { return ErrTimeout }
 
 // Options configures an Engine.
 type Options struct {
@@ -61,6 +87,12 @@ type Options struct {
 	// metrics.TraceRecorder). Nil disables tracing at the same
 	// one-nil-check cost as Metrics.
 	Trace *metrics.TraceRecorder
+	// Fault, when non-nil, is a deterministic fault-injection plan
+	// compiled at engine construction (see internal/fault): messages on
+	// eligible kinds may be dropped, duplicated or delayed, lanes
+	// stalled, node bandwidth degraded, and nodes fail-stopped. Nil
+	// disables injection at one nil-check per send/delivery.
+	Fault *fault.Plan
 }
 
 // Stats aggregates measurements across a Run.
@@ -82,6 +114,8 @@ type Stats struct {
 	// LanesTouched is the number of lanes that executed at least one
 	// event.
 	LanesTouched int64
+	// Faults counts injected faults; all-zero when Options.Fault is nil.
+	Faults fault.Counts
 }
 
 // Utilization returns BusyCycles / (FinalTime * lanes touched), a rough
@@ -157,11 +191,19 @@ type Engine struct {
 	// class, and shard routing; the table turns three NodeOf
 	// multiply/divides per send into one load each.
 	nodeOfID []int32
-	// totalLanes, lanesPerAccel and injXfer64 cache derived machine
-	// constants off the send hot path.
+	// totalLanes, lanesPerAccel, lanesPerNode and injXfer64 cache derived
+	// machine constants off the send hot path.
 	totalLanes    int
 	lanesPerAccel int
+	lanesPerNode  int
 	injXfer64     int64
+
+	// fault is the compiled fault-injection plan, nil when disabled.
+	// faultFS/faultStall cache whether the plan contains fail-stops or
+	// lane stalls, so the delivery path skips the lookups otherwise.
+	fault      *fault.Injector
+	faultFS    bool
+	faultStall bool
 
 	// rec is the installed metrics recorder, nil when disabled.
 	rec *metrics.Recorder
@@ -247,9 +289,19 @@ func NewEngine(m arch.Machine, opts Options) (*Engine, error) {
 	}
 	e.totalLanes = m.TotalLanes()
 	e.lanesPerAccel = m.LanesPerAccel
+	e.lanesPerNode = m.LanesPerNode()
 	e.injXfer64 = int64(64*m.MsgBytes) / int64(m.InjectBytesPerCycle)
 	if e.injXfer64 < 1 {
 		e.injXfer64 = 1
+	}
+	inj, err := fault.Compile(opts.Fault, m)
+	if err != nil {
+		return nil, err
+	}
+	e.fault = inj
+	if inj != nil {
+		e.faultFS = inj.HasFailStops()
+		e.faultStall = inj.HasStalls()
 	}
 	e.shards = make([]*shard, n)
 	for i := range e.shards {
@@ -308,6 +360,11 @@ func (e *Engine) Actor(id arch.NetworkID) Actor {
 	return a
 }
 
+// PeekActor returns the installed actor for id without instantiating
+// lanes on demand (nil for lanes the program never touched). Host-side
+// result collection uses it to read per-lane state after a run.
+func (e *Engine) PeekActor(id arch.NetworkID) Actor { return e.actors[id] }
+
 // shardOf maps an actor to the shard that owns it. Actors are partitioned
 // by node in contiguous ranges so that same-node interactions stay local.
 func (e *Engine) shardOf(id arch.NetworkID) int {
@@ -365,6 +422,7 @@ func (e *Engine) Run() (Stats, error) {
 		total.DRAMBytes += s.stats.DRAMBytes
 		total.Sends += s.stats.Sends
 		total.BusyCycles += s.stats.BusyCycles
+		total.Faults.Add(s.stats.Faults)
 		if s.stats.FinalTime > total.FinalTime {
 			total.FinalTime = s.stats.FinalTime
 		}
@@ -376,12 +434,23 @@ func (e *Engine) Run() (Stats, error) {
 	}
 	if e.rec != nil {
 		e.rec.ObserveFinalTime(total.FinalTime)
+		e.rec.ObserveFaults(total.Faults)
 	}
 	if e.tr != nil {
 		e.tr.ObserveFinalTime(total.FinalTime)
 	}
 	if timedOut {
-		return total, fmt.Errorf("%w (MaxTime=%d)", ErrTimeout, e.maxTime)
+		terr := &TimeoutError{MaxTime: e.maxTime, NextEvent: math.MaxInt64}
+		for _, s := range e.shards {
+			terr.Pending += s.heap.live()
+			if s.heap.len() > 0 && s.heap.topDeliver() < terr.NextEvent {
+				terr.NextEvent = s.heap.topDeliver()
+			}
+		}
+		if terr.NextEvent == math.MaxInt64 {
+			terr.NextEvent = 0
+		}
+		return total, terr
 	}
 	return total, nil
 }
@@ -414,6 +483,38 @@ func (s *shard) processWindow(horizon arch.Cycles) {
 		if pm.retry {
 			st.floating--
 			pm.retry = false
+		}
+		if e.fault != nil {
+			if e.faultFS && e.fault.NodeDead(e.nodeOfID[pm.Dst], pm.Deliver) {
+				// Fail-stopped node: the message is dead-lettered, never
+				// executed. If it was the actor's floating retry and
+				// other messages are parked behind it, release the next
+				// one so the queue drains (by cascading dead-letters).
+				s.stats.Faults.DeadLetters++
+				s.faultInstant("fault.dead_letter", pm.Dst, pm.Deliver)
+				h.release(mi)
+				if st.floating == 0 && st.waitqLen() > 0 {
+					ni := st.waitqPop()
+					nm := &h.arena[ni]
+					if nm.Deliver < st.freeAt {
+						nm.Deliver = st.freeAt
+					}
+					nm.retry = true
+					st.floating++
+					h.pushIdx(ni)
+				}
+				continue
+			}
+			if e.faultStall {
+				// A stall freezes the lane: messages that would start
+				// executing inside the window wait until it ends. The
+				// ordinary busy/park machinery below does the waiting.
+				if end := e.fault.StallEnd(pm.Dst, pm.Deliver); end > st.freeAt {
+					st.freeAt = end
+					s.stats.Faults.Stalled++
+					s.faultInstant("fault.stall", pm.Dst, pm.Deliver)
+				}
+			}
 		}
 		if st.freeAt > pm.Deliver {
 			if st.floating > 0 {
@@ -577,7 +678,13 @@ func (v *Env) sendAt(t, extra arch.Cycles, dst arch.NetworkID, kind uint8, event
 		if *busy < t64 {
 			*busy = t64
 		}
-		*busy += e.injXfer64
+		xfer := e.injXfer64
+		if e.fault != nil {
+			// Degraded injection bandwidth stretches the port's service
+			// time for every message leaving the node.
+			xfer *= e.fault.InjFactor(int32(srcNode), entry)
+		}
+		*busy += xfer
 		injBacklog64 = *busy - t64
 		entry = arch.Cycles((*busy + 63) / 64)
 	}
@@ -595,8 +702,17 @@ func (v *Env) sendAt(t, extra arch.Cycles, dst arch.NetworkID, kind uint8, event
 	default:
 		lat = e.M.LatSameNode
 	}
-	deliver := entry + lat
 	st := &e.state[v.self]
+	// Fault verdict: a pure function of (plan seed, sender, sequence
+	// number), drawn before the sequence number is consumed so that every
+	// copy of a logical message — including protocol retransmissions,
+	// which carry fresh sequence numbers — is faulted independently.
+	fv := fault.VerdictDeliver
+	var fextra arch.Cycles
+	if e.fault != nil {
+		fv, fextra = e.fault.Message(kind, v.self, st.seq, int32(srcNode), int32(dstNode), t)
+	}
+	deliver := entry + lat + fextra
 	m := Message{Deliver: deliver, Src: v.self, Seq: st.seq, Dst: dst, Kind: kind, Event: event, Cont: cont, NOps: uint8(len(ops))}
 	st.seq++
 	copy(m.Ops[:], ops)
@@ -608,23 +724,87 @@ func (v *Env) sendAt(t, extra arch.Cycles, dst arch.NetworkID, kind uint8, event
 	if s.trace != nil {
 		// entry - (t + extra) is the injection-port queueing delay (zero
 		// for intra-node sends), so Deliver = SendAt+Service+Queue+Net
-		// holds exactly.
+		// holds exactly; a fault delay shows up as extra Net transit.
 		s.trace.Edge(metrics.EdgeRec{
 			Src: v.self, Seq: m.Seq, ParentSrc: v.psrc, ParentSeq: v.pseq,
 			Dst: dst, SrcNode: int32(srcNode), DstNode: int32(dstNode),
 			Kind: kind, SendAt: t, Service: extra, Queue: entry - (t + extra),
-			Net: lat, Deliver: deliver,
+			Net: lat + fextra, Deliver: deliver,
 		})
 	}
+	switch fv {
+	case fault.VerdictDrop:
+		// The message paid for injection (the port was busy either way)
+		// and is traced as an edge with no matching execution, but it
+		// never arrives.
+		s.stats.Faults.Dropped++
+		s.faultInstant("fault.drop", v.self, t)
+		return
+	case fault.VerdictDelay:
+		s.stats.Faults.Delayed++
+		s.faultInstant("fault.delay", v.self, t)
+	}
 	dstShard := int(e.nodeShard[dstNode])
+	s.route(&m, dstShard)
+	if fv == fault.VerdictDup {
+		// The duplicate is a distinct message (own sequence number, one
+		// extra network traversal late) so ordering stays total and the
+		// receiver can observe genuine duplicate delivery.
+		s.stats.Faults.Dupped++
+		s.faultInstant("fault.dup", v.self, t)
+		d := m
+		d.Seq = st.seq
+		st.seq++
+		d.Deliver = deliver + lat
+		s.stats.Sends++
+		if s.rec != nil {
+			s.rec.Send(int32(srcNode), cross, injBacklog64, t)
+		}
+		if s.trace != nil {
+			s.trace.Edge(metrics.EdgeRec{
+				Src: v.self, Seq: d.Seq, ParentSrc: v.psrc, ParentSeq: v.pseq,
+				Dst: dst, SrcNode: int32(srcNode), DstNode: int32(dstNode),
+				Kind: kind, SendAt: t, Service: extra, Queue: entry - (t + extra),
+				Net: lat + lat + fextra, Deliver: d.Deliver,
+			})
+		}
+		s.route(&d, dstShard)
+	}
+}
+
+// route inserts a fully-built message into the destination shard's heap
+// or this shard's outbox.
+func (s *shard) route(m *Message, dstShard int) {
 	if dstShard == s.idx {
-		s.heap.push(m)
+		s.heap.push(*m)
 	} else {
-		s.outbox[s.parity][dstShard] = append(s.outbox[s.parity][dstShard], m)
-		if deliver < s.outMin {
-			s.outMin = deliver
+		s.outbox[s.parity][dstShard] = append(s.outbox[s.parity][dstShard], *m)
+		if m.Deliver < s.outMin {
+			s.outMin = m.Deliver
 		}
 	}
+}
+
+// faultInstant annotates a fault on the involved lane's span track (the
+// same track that carries its udweave execution spans), so drops, dups,
+// delays, stalls and dead-letters are visible in the Perfetto timeline.
+// Non-lane actors have no span track and are skipped.
+func (s *shard) faultInstant(name string, id arch.NetworkID, at arch.Cycles) {
+	if s.trace == nil || int(id) >= s.e.totalLanes {
+		return
+	}
+	s.trace.Instant(s.e.nodeOfID[id], int32(int(id)%s.e.lanesPerNode)+1, name, at)
+}
+
+// DRAMSlowdown returns the fault-injection DRAM service-time multiplier
+// for the executing actor's node (1 when no plan is installed or the node
+// is undegraded). The memory controller model stretches its bandwidth
+// horizon by it.
+func (v *Env) DRAMSlowdown() int64 {
+	if v.e.fault == nil {
+		return 1
+	}
+	return v.e.fault.DRAMFactor(v.e.nodeOfID[v.self], v.Now())
 }
 
 // AddDRAMBytes accounts memory traffic in the run statistics; it is called

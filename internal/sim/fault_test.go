@@ -1,0 +1,242 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"updown/internal/arch"
+	"updown/internal/fault"
+)
+
+// faultEngine builds an engine with a compiled fault plan.
+func faultEngine(t *testing.T, nodes, shards int, plan *fault.Plan) *Engine {
+	t.Helper()
+	e, err := NewEngine(arch.DefaultMachine(nodes), Options{Shards: shards, MaxTime: 1 << 40, Fault: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// burstRun posts one trigger that makes src send n KindEventU messages to
+// a sink on another node, and returns the sink delivery count plus stats.
+func burstRun(t *testing.T, shards, n int, plan *fault.Plan) (delivered int, st Stats) {
+	t.Helper()
+	e := faultEngine(t, 2, shards, plan)
+	m := e.M
+	src, dst := m.LaneID(0, 0, 0), m.LaneID(1, 0, 0)
+	sink := &sinkActor{}
+	e.SetActor(dst, sink)
+	e.SetActor(src, actorFunc(func(env *Env, msg *Message) {
+		env.Charge(1)
+		for i := 0; i < n; i++ {
+			env.Send(dst, arch.KindEventU, 0, 0, uint64(i))
+		}
+	}))
+	e.Post(0, src, arch.KindEvent, 0, 0)
+	stats, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(sink.got), stats
+}
+
+// Drop verdicts must be applied, counted, and identical at every shard
+// count (bit-identical final time and fault counters).
+func TestFaultDropDeterministicAcrossShards(t *testing.T) {
+	plan := &fault.Plan{Seed: 3, Rules: []fault.MsgRule{{
+		DropProb: 0.3, SrcNode: fault.AnyNode, DstNode: fault.AnyNode,
+	}}}
+	const n = 1000
+	refGot, refStats := burstRun(t, 1, n, plan)
+	if refStats.Faults.Dropped == 0 {
+		t.Fatal("30% drop rule dropped nothing")
+	}
+	if refGot+int(refStats.Faults.Dropped) != n {
+		t.Fatalf("delivered %d + dropped %d != sent %d", refGot, refStats.Faults.Dropped, n)
+	}
+	for _, shards := range []int{2, 3} {
+		got, stats := burstRun(t, shards, n, plan)
+		if got != refGot || stats.Faults != refStats.Faults || stats.FinalTime != refStats.FinalTime {
+			t.Fatalf("shards=%d: delivered=%d faults=%+v final=%d; want %d, %+v, %d",
+				shards, got, stats.Faults, stats.FinalTime, refGot, refStats.Faults, refStats.FinalTime)
+		}
+	}
+}
+
+// A certain-duplication rule delivers every message exactly twice.
+func TestFaultDupDeliversTwice(t *testing.T) {
+	plan := &fault.Plan{Rules: []fault.MsgRule{{
+		DupProb: 1, SrcNode: fault.AnyNode, DstNode: fault.AnyNode,
+	}}}
+	const n = 50
+	got, stats := burstRun(t, 1, n, plan)
+	if got != 2*n {
+		t.Fatalf("delivered %d, want %d (every message duplicated)", got, 2*n)
+	}
+	if stats.Faults.Dupped != n {
+		t.Fatalf("Dupped = %d, want %d", stats.Faults.Dupped, n)
+	}
+}
+
+// A certain-delay rule defers delivery by [1, DelayCycles] extra network
+// cycles without losing the message.
+func TestFaultDelayDefersDelivery(t *testing.T) {
+	run := func(plan *fault.Plan) arch.Cycles {
+		e := faultEngine(t, 2, 1, plan)
+		m := e.M
+		src, dst := m.LaneID(0, 0, 0), m.LaneID(1, 0, 0)
+		sink := &sinkActor{}
+		e.SetActor(dst, sink)
+		e.SetActor(src, actorFunc(func(env *Env, msg *Message) {
+			env.Charge(1)
+			env.Send(dst, arch.KindEventU, 0, 0, 1)
+		}))
+		e.Post(0, src, arch.KindEvent, 0, 0)
+		if _, err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if len(sink.times) != 1 {
+			t.Fatalf("sink got %d deliveries, want 1", len(sink.times))
+		}
+		return sink.times[0]
+	}
+	const maxDelay = 500
+	clean := run(nil)
+	delayed := run(&fault.Plan{Rules: []fault.MsgRule{{
+		DelayProb: 1, DelayCycles: maxDelay,
+		SrcNode: fault.AnyNode, DstNode: fault.AnyNode,
+	}}})
+	if delayed <= clean || delayed > clean+maxDelay {
+		t.Fatalf("delayed arrival %d, want in (%d, %d]", delayed, clean, clean+maxDelay)
+	}
+}
+
+// The default rule targets only KindEventU: reliable traffic must pass a
+// 100% drop rule untouched.
+func TestFaultDefaultKindsSpareReliableTraffic(t *testing.T) {
+	plan := &fault.Plan{Rules: []fault.MsgRule{{
+		DropProb: 1, SrcNode: fault.AnyNode, DstNode: fault.AnyNode,
+	}}}
+	e := faultEngine(t, 2, 1, plan)
+	m := e.M
+	src, dst := m.LaneID(0, 0, 0), m.LaneID(1, 0, 0)
+	sink := &sinkActor{}
+	e.SetActor(dst, sink)
+	e.SetActor(src, actorFunc(func(env *Env, msg *Message) {
+		env.Charge(1)
+		env.Send(dst, arch.KindEvent, 0, 0, 7)
+	}))
+	e.Post(0, src, arch.KindEvent, 0, 0)
+	stats, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.got) != 1 || stats.Faults.Dropped != 0 {
+		t.Fatalf("reliable message faulted: got %v, dropped %d", sink.got, stats.Faults.Dropped)
+	}
+}
+
+// Messages delivered to a fail-stopped node are dead-lettered — including
+// messages already parked in the busy actor's wait queue, which must
+// drain without stranding the run.
+func TestFailStopDeadLettersDrainWaitQueue(t *testing.T) {
+	const (
+		n        = 50
+		cost     = 10000
+		deadline = 30000
+	)
+	plan := &fault.Plan{FailStops: []fault.FailStop{{Node: 1, At: deadline}}}
+	e := faultEngine(t, 2, 1, plan)
+	m := e.M
+	src, dst := m.LaneID(0, 0, 0), m.LaneID(1, 0, 0)
+	sink := &sinkActor{}
+	slowSink := actorFunc(func(env *Env, msg *Message) {
+		sink.got = append(sink.got, msg.Ops[0])
+		env.Charge(cost)
+	})
+	e.SetActor(dst, slowSink)
+	e.SetActor(src, actorFunc(func(env *Env, msg *Message) {
+		env.Charge(1)
+		for i := 0; i < n; i++ {
+			// KindEvent: fail-stop is a node property, not a message-class
+			// property, so even reliable-class messages dead-letter.
+			env.Send(dst, arch.KindEvent, 0, 0, uint64(i))
+		}
+	}))
+	e.Post(0, src, arch.KindEvent, 0, 0)
+	stats, err := e.Run()
+	if err != nil {
+		t.Fatalf("run did not quiesce: %v", err)
+	}
+	if len(sink.got) == 0 || len(sink.got) == n {
+		t.Fatalf("delivered %d of %d, want a strict subset (node died mid-burst)", len(sink.got), n)
+	}
+	if int(stats.Faults.DeadLetters)+len(sink.got) != n {
+		t.Fatalf("dead letters %d + delivered %d != %d", stats.Faults.DeadLetters, len(sink.got), n)
+	}
+}
+
+// A stalled lane executes nothing during the stall window: a message
+// arriving mid-stall starts no earlier than the stall's end.
+func TestStallFreezesLane(t *testing.T) {
+	e := faultEngine(t, 2, 1, nil)
+	clean := func() arch.Cycles {
+		sink := &sinkActor{}
+		m := e.M
+		e.SetActor(m.LaneID(1, 0, 0), sink)
+		e.Post(0, m.LaneID(1, 0, 0), arch.KindEvent, 0, 0, 1)
+		if _, err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return sink.times[0]
+	}()
+	stallEnd := clean + 5000
+	plan := &fault.Plan{Stalls: []fault.Stall{{Lane: arch.DefaultMachine(2).LaneID(1, 0, 0), At: 0, For: stallEnd}}}
+	e2 := faultEngine(t, 2, 1, plan)
+	sink := &sinkActor{}
+	e2.SetActor(e2.M.LaneID(1, 0, 0), sink)
+	e2.Post(0, e2.M.LaneID(1, 0, 0), arch.KindEvent, 0, 0, 1)
+	stats, err := e2.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sink.times[0] < stallEnd {
+		t.Fatalf("stalled lane executed at %d, before stall end %d", sink.times[0], stallEnd)
+	}
+	if stats.Faults.Stalled == 0 {
+		t.Fatal("stall applied but not counted")
+	}
+}
+
+// ErrTimeout is now wrapped in a TimeoutError carrying the deadline and
+// the state of the pending event queue at expiry.
+func TestTimeoutErrorDetails(t *testing.T) {
+	e, err := NewEngine(arch.DefaultMachine(1), Options{Shards: 1, MaxTime: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := e.M.LaneID(0, 0, 0)
+	e.SetActor(id, actorFunc(func(env *Env, msg *Message) {
+		env.Charge(1)
+		env.Send(id, arch.KindEvent, 0, 0)
+	}))
+	e.Post(0, id, arch.KindEvent, 0, 0)
+	_, err = e.Run()
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	var te *TimeoutError
+	if !errors.As(err, &te) {
+		t.Fatalf("err = %T, want *TimeoutError", err)
+	}
+	if te.MaxTime != 10000 {
+		t.Errorf("MaxTime = %d, want 10000", te.MaxTime)
+	}
+	if te.Pending < 1 {
+		t.Errorf("Pending = %d, want >= 1 (livelock keeps an event in flight)", te.Pending)
+	}
+	if te.NextEvent <= te.MaxTime {
+		t.Errorf("NextEvent = %d, want past the %d deadline", te.NextEvent, te.MaxTime)
+	}
+}

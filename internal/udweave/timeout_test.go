@@ -1,0 +1,153 @@
+package udweave_test
+
+import (
+	"testing"
+
+	"updown/internal/arch"
+	"updown/internal/udweave"
+)
+
+// ArmTimeout fires the registered continuation label on the same thread
+// after the delay, and DisarmTimeout cancels a pending timer.
+func TestArmTimeoutFiresOnSameThread(t *testing.T) {
+	r := newRig(t, 1)
+	var armedAt, firedAt arch.Cycles
+	var tidAtArm, tidAtFire uint16
+	var onTimeout udweave.Label
+	onTimeout = r.prog.Define("on_timeout", func(c *udweave.Ctx) {
+		firedAt = c.Now()
+		tidAtFire = c.Thread().TID
+		c.YieldTerminate()
+	})
+	start := r.prog.Define("start", func(c *udweave.Ctx) {
+		armedAt = c.Now()
+		tidAtArm = c.Thread().TID
+		c.ArmTimeout(500, onTimeout)
+		// Returning without YieldTerminate keeps the thread alive for the
+		// timer.
+	})
+	r.start(udweave.EvwNew(0, start))
+	r.run(t)
+	if firedAt == 0 {
+		t.Fatal("timeout continuation never fired")
+	}
+	if firedAt < armedAt+500 {
+		t.Fatalf("timeout fired at %d, want >= %d", firedAt, armedAt+500)
+	}
+	if tidAtFire != tidAtArm {
+		t.Fatalf("timeout fired on thread %d, armed on %d", tidAtFire, tidAtArm)
+	}
+}
+
+func TestDisarmTimeoutCancels(t *testing.T) {
+	r := newRig(t, 1)
+	fired := false
+	onTimeout := r.prog.Define("on_timeout", func(c *udweave.Ctx) {
+		fired = true
+		c.YieldTerminate()
+	})
+	var disarm udweave.Label
+	start := r.prog.Define("start", func(c *udweave.Ctx) {
+		c.ArmTimeout(500, onTimeout)
+		// Wake ourselves before the deadline and disarm.
+		c.SendEventAfter(100, udweave.EvwExisting(0, c.Thread().TID, disarm), udweave.IGNRCONT)
+	})
+	disarm = r.prog.Define("disarm", func(c *udweave.Ctx) {
+		c.DisarmTimeout()
+		c.YieldTerminate()
+	})
+	r.start(udweave.EvwNew(0, start))
+	r.run(t)
+	if fired {
+		t.Fatal("disarmed timeout still fired")
+	}
+}
+
+// A timer armed by a thread that terminated (and whose context was
+// recycled by a successor) must not fire on the successor.
+func TestStaleTimerIgnoredAfterRecycle(t *testing.T) {
+	r := newRig(t, 1)
+	fired := false
+	onTimeout := r.prog.Define("on_timeout", func(c *udweave.Ctx) {
+		fired = true
+		c.YieldTerminate()
+	})
+	victim := r.prog.Define("victim", func(c *udweave.Ctx) {
+		c.ArmTimeout(1000, onTimeout)
+		// Terminate immediately: the timer is now stale.
+		c.YieldTerminate()
+	})
+	squatter := r.prog.Define("squatter", func(c *udweave.Ctx) {
+		// Occupy a recycled thread slot past the stale deadline.
+		if c.NOps() == 0 {
+			c.SendEventAfter(2000, c.EventWord(), udweave.IGNRCONT, 1)
+			return
+		}
+		c.YieldTerminate()
+	})
+	r.start(udweave.EvwNew(0, victim))
+	r.eng.Post(10, 0, arch.KindEvent, udweave.EvwNew(0, squatter), udweave.IGNRCONT)
+	r.run(t)
+	if fired {
+		t.Fatal("stale timer fired after its thread terminated")
+	}
+}
+
+// SendEventU delivers like SendEvent on a perfect fabric, and a message
+// on the unreliable class arriving for a dead thread is dropped silently
+// instead of panicking.
+func TestSendEventUDeliversAndToleratesDeadThreads(t *testing.T) {
+	r := newRig(t, 1)
+	got := uint64(0)
+	sink := r.prog.Define("sink", func(c *udweave.Ctx) {
+		got = c.Op(0)
+		c.YieldTerminate()
+	})
+	var lateTarget uint16
+	start := r.prog.Define("start", func(c *udweave.Ctx) {
+		c.SendEventU(udweave.EvwNew(0, sink), udweave.IGNRCONT, 41)
+		c.YieldTerminate()
+	})
+	shortLived := r.prog.Define("short_lived", func(c *udweave.Ctx) {
+		lateTarget = c.Thread().TID
+		c.YieldTerminate()
+	})
+	late := r.prog.Define("late", func(c *udweave.Ctx) {
+		// The short-lived thread is gone; on the unreliable class this is
+		// a silent drop, not a protocol violation.
+		c.SendEventU(udweave.EvwExisting(0, lateTarget, sink), udweave.IGNRCONT, 1)
+		c.YieldTerminate()
+	})
+	r.start(udweave.EvwNew(0, start))
+	r.start(udweave.EvwNew(0, shortLived))
+	r.eng.Post(5000, 0, arch.KindEvent, udweave.EvwNew(0, late), udweave.IGNRCONT)
+	r.run(t)
+	if got != 41 {
+		t.Fatalf("SendEventU payload = %d, want 41", got)
+	}
+}
+
+// Invoke dispatches another label inline on the current thread with the
+// current message, and TruncateOps hides trailing operands from it.
+func TestInvokeAndTruncateOps(t *testing.T) {
+	r := newRig(t, 1)
+	var sawOps int
+	var sawLabel udweave.Label
+	inner := r.prog.Define("inner", func(c *udweave.Ctx) {
+		sawOps = c.NOps()
+		sawLabel = udweave.EvwLabel(c.EventWord())
+		c.YieldTerminate()
+	})
+	outer := r.prog.Define("outer", func(c *udweave.Ctx) {
+		c.TruncateOps(c.NOps() - 1)
+		c.Invoke(inner)
+	})
+	r.start(udweave.EvwNew(0, outer), 10, 20, 30)
+	r.run(t)
+	if sawOps != 2 {
+		t.Fatalf("inner saw %d operands, want 2 (trailing operand truncated)", sawOps)
+	}
+	if sawLabel != inner {
+		t.Fatalf("inner ran under label %d, want %d", sawLabel, inner)
+	}
+}

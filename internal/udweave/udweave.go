@@ -31,12 +31,22 @@ type Program struct {
 	handlers []Handler
 	names    []string
 	numSlots int
+	// lTimeout is the reserved label carried by Ctx.ArmTimeout timer
+	// messages; the lane intercepts it and dispatches the thread's armed
+	// recovery label instead (stale timers are swallowed).
+	lTimeout Label
 }
 
 // NewProgram creates an empty program for the given machine.
 func NewProgram(m arch.Machine, gas *gasmem.GAS) *Program {
 	// Label 0 is reserved so that a zero event word is always invalid.
-	return &Program{M: m, GAS: gas, handlers: []Handler{nil}, names: []string{"<invalid>"}}
+	p := &Program{M: m, GAS: gas, handlers: []Handler{nil}, names: []string{"<invalid>"}}
+	// The timeout label has no handler of its own: Lane.OnMessage remaps
+	// it to the receiving thread's armed label.
+	p.lTimeout = Label(len(p.handlers))
+	p.handlers = append(p.handlers, nil)
+	p.names = append(p.names, "udweave.timeout")
+	return p
 }
 
 // Define registers an event handler and returns its Label.
@@ -88,6 +98,11 @@ type Thread struct {
 	State any
 
 	terminated bool
+	// timeoutGen/timeoutLabel implement Ctx.ArmTimeout: a timer message
+	// fires the armed label only when its generation still matches, so
+	// disarmed, superseded, or recycled-thread timers are swallowed.
+	timeoutGen   uint64
+	timeoutLabel Label
 }
 
 // Lane is the event-driven compute engine: it dispatches inbound event
@@ -102,15 +117,19 @@ type Lane struct {
 	pool     []*Thread
 	local    map[string]any
 	slots    []any
+	// timerGen is the lane-wide monotonic timer generation; each
+	// ArmTimeout takes the next value, making elder timers stale.
+	timerGen uint64
 }
 
 // OnMessage implements sim.Actor.
 func (l *Lane) OnMessage(env *sim.Env, m *sim.Message) {
-	if m.Kind != arch.KindEvent {
+	if m.Kind != arch.KindEvent && m.Kind != arch.KindEventU {
 		panic(fmt.Sprintf("udweave: lane %d received non-event message kind %d", l.id, m.Kind))
 	}
 	label := EvwLabel(m.Event)
-	if int(label) >= len(l.p.handlers) || l.p.handlers[label] == nil {
+	if int(label) >= len(l.p.handlers) ||
+		(l.p.handlers[label] == nil && label != l.p.lTimeout) {
 		panic(fmt.Sprintf("udweave: lane %d received undefined event label %d", l.id, label))
 	}
 	tid := EvwTID(m.Event)
@@ -119,14 +138,38 @@ func (l *Lane) OnMessage(env *sim.Env, m *sim.Message) {
 		tv = nil
 	}
 	var th *Thread
-	if tid == NewThreadTID {
+	switch {
+	case label == l.p.lTimeout:
+		// Timer message from Ctx.ArmTimeout. Swallow it silently unless
+		// the target thread is still alive and the timer is current (not
+		// disarmed, superseded by a newer arm, or aimed at a recycled
+		// thread context); otherwise dispatch the armed recovery label on
+		// the thread.
+		if int(tid) >= len(l.threads) || l.threads[tid] == nil {
+			return
+		}
+		th = l.threads[tid]
+		if th.timeoutLabel == 0 || m.NOps == 0 || th.timeoutGen != m.Ops[0] {
+			return
+		}
+		label = th.timeoutLabel
+		th.timeoutLabel = 0
+	case tid == NewThreadTID:
 		th = l.allocThread()
 		env.Charge(l.p.M.CostThreadCreate)
 		if tv != nil {
 			tv.AsyncBegin(l.pid, l.tid, l.threadSpanID(th), "thread", env.Start())
 		}
-	} else {
+	default:
 		if int(tid) >= len(l.threads) || l.threads[tid] == nil {
+			if m.Kind == arch.KindEventU {
+				// The unreliable class tolerates stale delivery: a
+				// duplicated or delayed message may outlive its target
+				// thread. Dropping it here is the documented contract;
+				// protocols on this class must target fresh threads or
+				// dedup at the handler.
+				return
+			}
 			panic(fmt.Sprintf("udweave: lane %d event %q for dead thread %d", l.id, l.p.Name(label), tid))
 		}
 		th = l.threads[tid]
@@ -144,6 +187,9 @@ func (l *Lane) OnMessage(env *sim.Env, m *sim.Message) {
 		l.live--
 		th.State = nil
 		th.terminated = false
+		// Disarm any pending timer so a recycled context never fires a
+		// predecessor's timeout.
+		th.timeoutLabel = 0
 		l.pool = append(l.pool, th)
 	} else {
 		env.Charge(l.p.M.CostThreadYield)
@@ -250,6 +296,36 @@ func (c *Ctx) Ops() []uint64 { return c.msg.Ops[:c.msg.NOps] }
 // Cont returns the continuation word of the triggering message (CCONT).
 func (c *Ctx) Cont() uint64 { return c.msg.Cont }
 
+// Src returns the NetworkID that sent the triggering message. Dedup
+// protocols key their sequence windows on it.
+func (c *Ctx) Src() arch.NetworkID { return c.msg.Src }
+
+// TruncateOps shortens the triggering message's visible operand list to
+// n: protocol wrappers strip trailing metadata (sequence numbers) before
+// handing the event to a wrapped handler via Invoke. It affects only
+// this execution's view of the message.
+func (c *Ctx) TruncateOps(n int) {
+	if n < 0 || n > int(c.msg.NOps) {
+		panic(fmt.Sprintf("udweave: TruncateOps(%d) on a %d-operand message", n, c.msg.NOps))
+	}
+	c.msg.NOps = uint8(n)
+}
+
+// Invoke runs another event handler in place: same thread, same message,
+// same simulated cycle accounting. Protocol shims (the resilient-emit
+// delivery wrapper in KVMSR) use it to hand a validated message to the
+// handler the sender addressed.
+func (c *Ctx) Invoke(label Label) {
+	p := c.lane.p
+	if int(label) >= len(p.handlers) || p.handlers[label] == nil {
+		panic(fmt.Sprintf("udweave: Invoke of undefined label %d", label))
+	}
+	saved := c.label
+	c.label = label
+	p.handlers[label](c)
+	c.label = saved
+}
+
 // EventWord returns the current event word (CEVNT): this lane, this thread,
 // this label. Combined with EvwUpdateEvent it lets an event direct replies
 // back to its own thread.
@@ -289,6 +365,45 @@ func (c *Ctx) SendEvent(evw uint64, cont uint64, ops ...uint64) {
 // Reply sends operands to a continuation word; with IGNRCONT it does
 // nothing.
 func (c *Ctx) Reply(cont uint64, ops ...uint64) { c.SendEvent(cont, IGNRCONT, ops...) }
+
+// SendEventU is SendEvent on the unreliable message class
+// (arch.KindEventU): under fault injection the message may be dropped,
+// duplicated or delayed, and delivery to a thread that has since died is
+// silently discarded rather than a panic. Protocols using it must carry
+// their own ack/retry/dedup machinery (see internal/kvmsr resilience);
+// without a fault plan it behaves exactly like SendEvent.
+func (c *Ctx) SendEventU(evw uint64, cont uint64, ops ...uint64) {
+	if evw == IGNRCONT {
+		return
+	}
+	dst := EvwNetworkID(evw)
+	if !c.lane.p.M.IsLane(dst) {
+		panic(fmt.Sprintf("udweave: send_event to non-lane networkID %d (event %q)", dst, c.lane.p.Name(EvwLabel(evw))))
+	}
+	c.env.Send(dst, arch.KindEventU, evw, cont, ops...)
+}
+
+// ArmTimeout schedules a timeout continuation for the executing thread:
+// unless DisarmTimeout (or a newer ArmTimeout, or thread termination)
+// intervenes, the thread receives a recovery event at handler label
+// after delay cycles — the blocked-thread escape hatch resilient
+// protocols need. One timer per thread; re-arming supersedes the
+// previous timer. The timer itself travels on the reliable event class.
+func (c *Ctx) ArmTimeout(delay arch.Cycles, label Label) {
+	p := c.lane.p
+	if int(label) >= len(p.handlers) || p.handlers[label] == nil {
+		panic(fmt.Sprintf("udweave: ArmTimeout with undefined label %d", label))
+	}
+	c.lane.timerGen++
+	c.th.timeoutGen = c.lane.timerGen
+	c.th.timeoutLabel = label
+	evw := EvwExisting(c.lane.id, c.th.TID, p.lTimeout)
+	c.env.SendAfter(delay, c.lane.id, arch.KindEvent, evw, IGNRCONT, c.th.timeoutGen)
+}
+
+// DisarmTimeout cancels the thread's pending timeout, if any. The timer
+// message still arrives but is swallowed.
+func (c *Ctx) DisarmTimeout() { c.th.timeoutLabel = 0 }
 
 // SendEventAfter is SendEvent with an additional delay before the message
 // enters the network. It models software timers (polling loops, retry

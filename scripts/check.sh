@@ -4,6 +4,15 @@
 # pool, the KVMSR runtime, and the metrics recorder's shard views).
 set -eux
 
+# Determinism guard: all randomness must flow through internal/prng's
+# seeded streams. A stray math/rand import anywhere else (simulated path
+# or test) breaks bit-reproducibility — including fault-injection
+# verdicts, which are pure functions of (seed, src, seq).
+if grep -rn --include='*.go' '"math/rand' . | grep -v '^\./internal/prng/'; then
+    echo "error: math/rand import outside internal/prng (use updown/internal/prng)" >&2
+    exit 1
+fi
+
 go vet ./...
 go build ./...
 go test ./...

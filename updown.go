@@ -23,7 +23,9 @@ import (
 
 	"updown/internal/arch"
 	"updown/internal/dram"
+	"updown/internal/fault"
 	"updown/internal/gasmem"
+	"updown/internal/kvmsr"
 	"updown/internal/metrics"
 	"updown/internal/sim"
 	"updown/internal/udweave"
@@ -82,6 +84,20 @@ type Config struct {
 	// Perfetto trace. Nil keeps recording disabled and the simulator at
 	// full speed.
 	Metrics *metrics.Options
+	// Fault, when non-nil, installs a deterministic fault-injection plan
+	// (message drop/dup/delay on the unreliable event class, lane stalls,
+	// bandwidth degradation, node fail-stops). Verdicts depend only on the
+	// plan seed and each message's (source, sequence) identity, so runs
+	// with the same seed and spec are byte-identical at any shard count.
+	// Nil keeps the fabric perfect and the fault paths compiled out of the
+	// hot loop (nil-checked hooks).
+	Fault *fault.Plan
+	// Resilience, when non-nil, is handed to applications (via
+	// Machine.Resilience) so they opt their KVMSR invocations into the
+	// resilient shuffle: acked, sequence-numbered emits on the unreliable
+	// class with timeout retransmission and idempotent apply. Required for
+	// correct results under a Fault plan that targets KindEventU.
+	Resilience *kvmsr.Resilience
 	// Trace, when non-nil, enables the causal tracing recorder: named
 	// spans (thread lifetimes, event executions, KVMSR phases, program
 	// phases) and/or the per-message causal edge stream that feeds
@@ -107,6 +123,9 @@ type Machine struct {
 	// set. After Run, Trace.CriticalPath/Latencies/Flows analyze the
 	// causal DAG and metrics.WriteTraceFile renders the recorded spans.
 	Trace *metrics.TraceRecorder
+	// Resilience echoes Config.Resilience for applications to pass into
+	// their KVMSR specs; nil means the classic (reliable-fabric) shuffle.
+	Resilience *kvmsr.Resilience
 }
 
 // New assembles a machine.
@@ -136,12 +155,21 @@ func New(cfg Config) (*Machine, error) {
 		LaneFactory: prog.NewLane,
 		Metrics:     rec,
 		Trace:       tr,
+		Fault:       cfg.Fault,
 	})
 	if err != nil {
 		return nil, err
 	}
 	ctrls := dram.Install(eng, gas)
-	return &Machine{Arch: a, Engine: eng, GAS: gas, Prog: prog, Ctrls: ctrls, Metrics: rec, Trace: tr}, nil
+	return &Machine{Arch: a, Engine: eng, GAS: gas, Prog: prog, Ctrls: ctrls,
+		Metrics: rec, Trace: tr, Resilience: cfg.Resilience}, nil
+}
+
+// LanePeek returns a resolver from lane NetworkID to its simulated actor,
+// suitable for kvmsr.Invocation.ResilienceTotals/Outstanding. Valid after
+// Run; peeking mid-run would race with the worker pool.
+func (m *Machine) LanePeek() func(NetworkID) any {
+	return func(id NetworkID) any { return m.Engine.PeekActor(id) }
 }
 
 // Start posts an initial event (time 0) triggering evw with the given
