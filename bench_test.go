@@ -179,6 +179,57 @@ func BenchmarkAblationCombiningCache(b *testing.B) {
 	}
 }
 
+// BenchmarkKVMSRShuffle compares the classic one-message-per-tuple shuffle
+// against the coalescing+combining shuffle on PageRank over two nodes, and
+// asserts the coalesced run puts strictly fewer shuffle messages on the
+// inter-node network — the CI bench-smoke gate for the aggregation layer.
+func BenchmarkKVMSRShuffle(b *testing.B) {
+	g := benchGraph(12, false)
+	split := graph.SplitWith(g, graph.SplitOptions{
+		MaxDeg: 64, Seed: graph.DefaultShuffleSeed, SpreadInEdges: true})
+	run := func(coalesce bool) (updown.Stats, updown.Cycles) {
+		var coal *kvmsr.Coalesce
+		if coalesce {
+			coal = &kvmsr.Coalesce{}
+		}
+		m, err := updown.New(updown.Config{Nodes: 2, Coalesce: coal})
+		if err != nil {
+			b.Fatal(err)
+		}
+		dg, err := graph.LoadToGAS(m.GAS, split, graph.DefaultPlacement(2))
+		if err != nil {
+			b.Fatal(err)
+		}
+		app, err := pagerank.New(m, dg, pagerank.Config{Combine: coalesce})
+		if err != nil {
+			b.Fatal(err)
+		}
+		app.InitValues()
+		stats, err := app.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		return stats, app.Elapsed()
+	}
+	for i := 0; i < b.N; i++ {
+		classic, classicCycles := run(false)
+		packed, packedCycles := run(true)
+		if packed.ShuffleMsgs >= classic.ShuffleMsgs {
+			b.Fatalf("coalesced shuffle sent %d network messages, classic %d — packing regressed",
+				packed.ShuffleMsgs, classic.ShuffleMsgs)
+		}
+		if packed.ShuffleTuples != classic.ShuffleTuples {
+			b.Fatalf("coalesced logical tuples %d, classic %d — termination accounting broken",
+				packed.ShuffleTuples, classic.ShuffleTuples)
+		}
+		b.ReportMetric(float64(classic.ShuffleMsgs), "classic-msgs")
+		b.ReportMetric(float64(packed.ShuffleMsgs), "coalesced-msgs")
+		b.ReportMetric(float64(packed.ShuffleTuples)/float64(packed.ShuffleMsgs), "tup/msg")
+		b.ReportMetric(float64(classicCycles), "classic-cycles")
+		b.ReportMetric(float64(packedCycles), "coalesced-cycles")
+	}
+}
+
 // BenchmarkAblationTCBinding compares triangle counting under Block vs
 // PBMW map bindings (the paper's two TC variants, Section 4.3.3).
 func BenchmarkAblationTCBinding(b *testing.B) {

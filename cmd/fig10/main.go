@@ -22,6 +22,7 @@ func main() {
 	shards := flag.Int("shards", 0, "simulator host parallelism (0 = auto)")
 	markdown := flag.Bool("markdown", false, "emit GitHub-markdown tables")
 	critpath := flag.Bool("critpath", false, "extract the causal critical path per run and add the crit% column")
+	coalesce := flag.Bool("coalesce", false, "opt into the coalescing shuffle (ingestion is map-only, so this is a no-op pass-through)")
 	flag.Parse()
 
 	ns, err := harness.ParseNodeList(*nodes)
@@ -39,7 +40,7 @@ func main() {
 	tables, err := harness.Fig10Ingestion(harness.Fig10Options{
 		BaseRecords: *records, Multipliers: multipliers, Nodes: ns,
 		BlockBytes: *block, Seed: *seed, Shards: *shards,
-		CritPath: *critpath,
+		CritPath: *critpath, Coalesce: *coalesce,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -24,6 +24,7 @@ func main() {
 	abs := flag.Bool("abs", false, "also measure the host multicore baseline wall-clock")
 	markdown := flag.Bool("markdown", false, "emit GitHub-markdown tables")
 	critpath := flag.Bool("critpath", false, "extract the causal critical path per run and add the crit% column")
+	coalesce := flag.Bool("coalesce", false, "use the coalescing KVMSR shuffle and add the msgs/tup-per-msg columns")
 	flag.Parse()
 
 	ns, err := harness.ParseNodeList(*nodes)
@@ -33,7 +34,7 @@ func main() {
 	tables, err := harness.Fig9BFS(harness.Fig9Options{
 		Scale: *scale, Nodes: ns, Presets: strings.Split(*presets, ","),
 		Seed: *seed, Shards: *shards, Validate: *validate,
-		CritPath: *critpath,
+		CritPath: *critpath, Coalesce: *coalesce,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -31,8 +31,13 @@ func main() {
 	abs := flag.Bool("abs", false, "also measure the host multicore baseline wall-clock")
 	markdown := flag.Bool("markdown", false, "emit GitHub-markdown tables")
 	critpath := flag.Bool("critpath", false, "extract the causal critical path per run and add the crit% column")
+	coalesce := flag.Bool("coalesce", false, "use the coalescing KVMSR shuffle and add the msgs/tup-per-msg columns")
+	combine := flag.Bool("combine", false, "with -coalesce: pre-reduce same-key contributions in the pack buffers")
 	flag.Parse()
 
+	if *combine && !*coalesce {
+		log.Fatal("-combine pre-reduces pack buffers: add -coalesce")
+	}
 	ns, err := harness.ParseNodeList(*nodes)
 	if err != nil {
 		log.Fatal(err)
@@ -40,7 +45,7 @@ func main() {
 	tables, err := harness.Fig9PageRank(harness.Fig9Options{
 		Scale: *scale, Nodes: ns, Presets: strings.Split(*presets, ","),
 		Iterations: *iters, Seed: *seed, Shards: *shards, Validate: *validate,
-		CritPath: *critpath,
+		CritPath: *critpath, Coalesce: *coalesce, Combine: *combine,
 	})
 	if err != nil {
 		log.Fatal(err)

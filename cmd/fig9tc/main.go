@@ -20,8 +20,13 @@ func main() {
 	validate := flag.Bool("validate", true, "cross-check against host baseline")
 	markdown := flag.Bool("markdown", false, "emit GitHub-markdown tables")
 	critpath := flag.Bool("critpath", false, "extract the causal critical path per run and add the crit% column")
+	coalesce := flag.Bool("coalesce", false, "use the coalescing KVMSR shuffle and add the msgs/tup-per-msg columns")
+	combine := flag.Bool("combine", false, "with -coalesce: install the keep-first pair combiner (exercises the combining path; pair keys are unique)")
 	flag.Parse()
 
+	if *combine && !*coalesce {
+		log.Fatal("-combine pre-reduces pack buffers: add -coalesce")
+	}
 	ns, err := harness.ParseNodeList(*nodes)
 	if err != nil {
 		log.Fatal(err)
@@ -29,7 +34,7 @@ func main() {
 	tables, err := harness.Fig9TC(harness.Fig9Options{
 		Scale: *scale, Nodes: ns, Presets: strings.Split(*presets, ","),
 		Seed: *seed, Shards: *shards, Validate: *validate,
-		CritPath: *critpath,
+		CritPath: *critpath, Coalesce: *coalesce, Combine: *combine,
 	})
 	if err != nil {
 		log.Fatal(err)

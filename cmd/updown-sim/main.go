@@ -79,6 +79,8 @@ func main() {
 	faultSpec := flag.String("fault-spec", "", "fault-injection spec, e.g. drop=0.05,dup=0.02,failstop=3@20000 (see internal/fault)")
 	faultSeed := flag.Uint64("fault-seed", 1, "seed for fault-injection verdicts (same seed+spec = bit-identical run)")
 	resilient := flag.Bool("resilient", false, "use the resilient KVMSR shuffle (acked emits, retransmission, dedup)")
+	coalesce := flag.Bool("coalesce", false, "use the coalescing KVMSR shuffle (multi-tuple packed messages)")
+	combine := flag.Bool("combine", false, "with -coalesce: pre-reduce same-key tuples in the pack buffers (pr: float add, tc: keep-first)")
 	spare := flag.Bool("spare", false, "add one machine node beyond -nodes that carries no lanes' work and no data: a safe fail-stop target")
 	checksum := flag.Bool("checksum", false, "print a deterministic application-result checksum")
 	flag.Parse()
@@ -97,6 +99,14 @@ func main() {
 	}
 	if plan != nil && len(plan.Rules) > 0 && res == nil {
 		fmt.Fprintln(os.Stderr, "updown-sim: warning: message faults without -resilient will lose shuffle tuples")
+	}
+	var coal *kvmsr.Coalesce
+	if *coalesce {
+		coal = &kvmsr.Coalesce{}
+	}
+	if *combine && !*coalesce {
+		fmt.Fprintln(os.Stderr, "updown-sim: -combine pre-reduces pack buffers: add -coalesce")
+		os.Exit(2)
 	}
 
 	fl := obsFlags{
@@ -127,7 +137,7 @@ func main() {
 	m, err := updown.New(updown.Config{
 		Arch: &ar, Shards: *shards, MaxTime: 1 << 46,
 		Metrics: mopts, Trace: fl.traceOptions(),
-		Fault: plan, Resilience: res,
+		Fault: plan, Resilience: res, Coalesce: coal,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -155,7 +165,7 @@ func main() {
 			split := graph.SplitWith(g, graph.SplitOptions{
 				MaxDeg: *maxDeg, Seed: graph.DefaultShuffleSeed, SpreadInEdges: true})
 			dg := mustLoad(m, split, pl)
-			a, err := pagerank.New(m, dg, pagerank.Config{Iterations: *iters, Lanes: appLanes})
+			a, err := pagerank.New(m, dg, pagerank.Config{Iterations: *iters, Lanes: appLanes, Combine: *combine})
 			must(err)
 			a.InitValues()
 			stats, err := a.Run()
@@ -188,7 +198,7 @@ func main() {
 			}
 		case "tc":
 			dg := mustLoad(m, graph.Split(g, 0), pl)
-			a, err := tc.New(m, dg, tc.Config{Lanes: appLanes})
+			a, err := tc.New(m, dg, tc.Config{Lanes: appLanes, Combine: *combine})
 			must(err)
 			stats, err := a.Run()
 			must(err)
@@ -348,6 +358,11 @@ func report(m *updown.Machine, stats updown.Stats, elapsed updown.Cycles) {
 		stats.Events, stats.Sends, stats.DRAMReads, stats.DRAMWrites, stats.DRAMBytes)
 	fmt.Printf("lanes touched: %d, utilization %.1f%%\n",
 		stats.LanesTouched, 100*stats.Utilization())
+	if stats.ShuffleTuples != 0 {
+		fmt.Printf("shuffle: %d tuples in %d messages (%.2f tup/msg)\n",
+			stats.ShuffleTuples, stats.ShuffleMsgs,
+			float64(stats.ShuffleTuples)/float64(stats.ShuffleMsgs))
+	}
 	if !stats.Faults.Zero() {
 		fmt.Printf("faults: dropped=%d dupped=%d delayed=%d dead-letters=%d stalls=%d\n",
 			stats.Faults.Dropped, stats.Faults.Dupped, stats.Faults.Delayed,

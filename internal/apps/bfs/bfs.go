@@ -155,6 +155,10 @@ func New(m *updown.Machine, dg *graph.DeviceGraph, cfg Config) (*App, error) {
 		MapBinding:  kvmsr.Stride{Step: m.Arch.LanesPerAccel},
 		Lanes:       cfg.Lanes,
 		Resilience:  m.Resilience,
+		// Coalescing only, no combiner: each discovered (neighbor, dist,
+		// parent) tuple must reach the owner lane so Traversed counts
+		// explored edges and the first arrival picks the BFS-tree parent.
+		Coalesce: m.Coalesce,
 	})
 	if err != nil {
 		return nil, err
@@ -426,14 +430,15 @@ func (a *App) vRec(c *updown.Ctx) {
 
 // vChunk pushes one chunk of neighbors into the shuffle. The emitted
 // tuples carry (neighbor, distance): sends are unaccounted SendReduce
-// calls whose counts flow back to the map task for EmitFrom crediting.
+// calls whose credits flow back to the map task for EmitFrom crediting
+// (under a combining shuffle a merged tuple returns credit 0, so the
+// sum stays balanced against the reducers' ReduceDone count).
 func (a *App) vChunk(c *updown.Ctx) {
 	st := c.State().(*vertState)
 	n := c.NOps()
 	for i := 0; i < n; i++ {
-		a.inv.SendReduce(c, c.Op(i), st.round+1, uint64(st.v))
+		st.sent += a.inv.SendReduce(c, c.Op(i), st.round+1, uint64(st.v))
 	}
-	st.sent += uint64(n)
 	st.loaded += uint64(n)
 	if st.loaded == st.degree {
 		c.Reply(st.cont, st.sent)

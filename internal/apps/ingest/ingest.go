@@ -176,12 +176,13 @@ func New(m *updown.Machine, data []byte, cfg Config) (*App, error) {
 	a.lDriver = p.Define("ingest.driver", a.driver)
 
 	// Both phases are map-only (records flow through reliable split-phase
-	// DRAM and SHT traffic, not the shuffle), so Resilience is accepted
-	// but has nothing to protect; kvmsr ignores it without a ReduceEvent.
+	// DRAM and SHT traffic, not the shuffle), so Resilience and Coalesce
+	// are accepted but have nothing to act on; kvmsr ignores both without
+	// a ReduceEvent.
 	a.parseInv, err = kvmsr.New(p, kvmsr.Spec{
 		Name: "ingest.phase1", NumKeys: uint64(a.blocks),
 		MapEvent: parseBody, Lanes: cfg.Lanes,
-		Resilience: m.Resilience,
+		Resilience: m.Resilience, Coalesce: m.Coalesce,
 	})
 	if err != nil {
 		return nil, err
@@ -189,7 +190,7 @@ func New(m *updown.Machine, data []byte, cfg Config) (*App, error) {
 	a.insertInv, err = kvmsr.New(p, kvmsr.Spec{
 		Name: "ingest.phase2", NumKeys: uint64(a.blocks),
 		MapEvent: insertBody, Lanes: cfg.Lanes,
-		Resilience: m.Resilience,
+		Resilience: m.Resilience, Coalesce: m.Coalesce,
 	})
 	if err != nil {
 		return nil, err

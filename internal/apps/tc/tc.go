@@ -29,6 +29,11 @@ type Config struct {
 	UsePBMW bool
 	// MaxOutstanding caps in-flight map tasks per lane.
 	MaxOutstanding int
+	// Combine installs a keep-first combiner on the coalescing shuffle.
+	// Pair keys are globally unique (each <u,v> pair is enumerated once),
+	// so the combiner never actually merges — it exercises the combining
+	// path with a bit-identical result, which the equivalence tests check.
+	Combine bool
 }
 
 // App is a TC program instance.
@@ -83,6 +88,11 @@ type reduceState struct {
 
 func pairKey(u, v uint64) uint64 { return u<<32 | v }
 
+// keepFirst is TC's Config.Combine combiner: pair keys are unique, so two
+// same-key tuples can only be duplicates of one another and either's
+// values (u's list descriptor) stand for both.
+func keepFirst(_ uint64, a, _ []uint64) []uint64 { return a }
+
 // New builds the program against a loaded device graph (which must be
 // undirected with sorted neighbor lists).
 func New(m *updown.Machine, dg *graph.DeviceGraph, cfg Config) (*App, error) {
@@ -108,12 +118,20 @@ func New(m *updown.Machine, dg *graph.DeviceGraph, cfg Config) (*App, error) {
 	if cfg.UsePBMW {
 		mb = kvmsr.PBMW{}
 	}
+	var combiner kvmsr.Combiner
+	if cfg.Combine {
+		combiner = keepFirst
+	}
 	var err error
 	a.mainInv, err = kvmsr.New(p, kvmsr.Spec{
 		Name: "tc.main", NumKeys: uint64(dg.G.N),
 		MapEvent: kvMap, ReduceEvent: kvReduce, MapBinding: mb,
 		Lanes: cfg.Lanes, MaxOutstanding: cfg.MaxOutstanding,
-		Resilience: m.Resilience,
+		Resilience: m.Resilience, Coalesce: m.Coalesce, Combiner: combiner,
+		// The reducer intersects two DRAM adjacency lists and adds into
+		// the totals slot of whichever lane it runs on, so any lane may
+		// run it.
+		ReduceAnyLane: true,
 	})
 	if err != nil {
 		return nil, err

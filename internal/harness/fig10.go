@@ -29,6 +29,10 @@ type Fig10Options struct {
 	Profile bool
 	// CritPath enables causal tracing and the crit% column.
 	CritPath bool
+	// Coalesce opts the run into the coalescing shuffle. Both ingestion
+	// phases are map-only, so this is a pass-through that leaves the run
+	// unchanged; it exists so a fig10 sweep can assert exactly that.
+	Coalesce bool
 	// MaxTime bounds simulated cycles per configuration (0 = default);
 	// timed-out configurations become table notes, not sweep failures.
 	MaxTime arch.Cycles
@@ -72,7 +76,7 @@ func Fig10Ingestion(opt Fig10Options) ([]*Table, error) {
 			}
 			m, err := updown.New(updown.Config{Nodes: nodes, Shards: opt.Shards,
 				MaxTime: maxTime, Metrics: metricsConfig(opt.Profile),
-				Trace: traceConfig(opt.CritPath)})
+				Trace: traceConfig(opt.CritPath), Coalesce: coalesceConfig(opt.Coalesce)})
 			if err != nil {
 				return nil, err
 			}
@@ -100,6 +104,7 @@ func Fig10Ingestion(opt Fig10Options) ([]*Table, error) {
 				Metric:   float64(n) / sec / 1e6,
 				HostMevS: hostRate,
 			}
+			fillShuffle(&row, stats)
 			fillUtilization(&row, m)
 			fillCritPct(&row, m)
 			tb.Rows = append(tb.Rows, row)

@@ -37,6 +37,12 @@ type Fig9Options struct {
 	// CritPath enables causal tracing and fills the crit% column of every
 	// row (critical-path length over makespan).
 	CritPath bool
+	// Coalesce opts every row into the coalescing shuffle (multi-tuple
+	// packed messages); the msgs and tup/msg columns show the traffic.
+	Coalesce bool
+	// Combine additionally installs the application's combiner (PageRank:
+	// float add; TC: keep-first). Requires Coalesce; BFS ignores it.
+	Combine bool
 	// MaxTime bounds simulated cycles per configuration (0 = the runner
 	// default). Configurations that exceed it are recorded as a table
 	// note and skipped instead of aborting the sweep.
@@ -113,7 +119,7 @@ func Fig9PageRank(opt Fig9Options) ([]*Table, error) {
 		for _, nodes := range opt.Nodes {
 			m, err := updown.New(updown.Config{Nodes: nodes, Shards: opt.Shards,
 				MaxTime: opt.maxTime(), Metrics: metricsConfig(opt.Profile),
-				Trace: traceConfig(opt.CritPath)})
+				Trace: traceConfig(opt.CritPath), Coalesce: coalesceConfig(opt.Coalesce)})
 			if err != nil {
 				return nil, err
 			}
@@ -121,7 +127,7 @@ func Fig9PageRank(opt Fig9Options) ([]*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			app, err := pagerank.New(m, dg, pagerank.Config{Iterations: opt.Iterations})
+			app, err := pagerank.New(m, dg, pagerank.Config{Iterations: opt.Iterations, Combine: opt.Combine})
 			if err != nil {
 				return nil, err
 			}
@@ -148,6 +154,7 @@ func Fig9PageRank(opt Fig9Options) ([]*Table, error) {
 				Metric:   float64(g.NumEdges()) * float64(opt.Iterations) / sec / 1e9,
 				HostMevS: hostRate,
 			}
+			fillShuffle(&row, stats)
 			fillUtilization(&row, m)
 			fillCritPct(&row, m)
 			tb.Rows = append(tb.Rows, row)
@@ -199,7 +206,7 @@ func Fig9BFS(opt Fig9Options) ([]*Table, error) {
 		for _, nodes := range opt.Nodes {
 			m, err := updown.New(updown.Config{Nodes: nodes, Shards: opt.Shards,
 				MaxTime: opt.maxTime(), Metrics: metricsConfig(opt.Profile),
-				Trace: traceConfig(opt.CritPath)})
+				Trace: traceConfig(opt.CritPath), Coalesce: coalesceConfig(opt.Coalesce)})
 			if err != nil {
 				return nil, err
 			}
@@ -234,6 +241,7 @@ func Fig9BFS(opt Fig9Options) ([]*Table, error) {
 				Metric:   float64(app.Traversed) / sec / 1e9,
 				HostMevS: hostRate,
 			}
+			fillShuffle(&row, stats)
 			fillUtilization(&row, m)
 			fillCritPct(&row, m)
 			tb.Rows = append(tb.Rows, row)
@@ -282,7 +290,7 @@ func Fig9TC(opt Fig9Options) ([]*Table, error) {
 		for _, nodes := range opt.Nodes {
 			m, err := updown.New(updown.Config{Nodes: nodes, Shards: opt.Shards,
 				MaxTime: opt.maxTime(), Metrics: metricsConfig(opt.Profile),
-				Trace: traceConfig(opt.CritPath)})
+				Trace: traceConfig(opt.CritPath), Coalesce: coalesceConfig(opt.Coalesce)})
 			if err != nil {
 				return nil, err
 			}
@@ -290,7 +298,7 @@ func Fig9TC(opt Fig9Options) ([]*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			app, err := tc.New(m, dg, tc.Config{})
+			app, err := tc.New(m, dg, tc.Config{Combine: opt.Combine})
 			if err != nil {
 				return nil, err
 			}
@@ -314,6 +322,7 @@ func Fig9TC(opt Fig9Options) ([]*Table, error) {
 				Metric:   float64(app.Total()) / sec / 1e6,
 				HostMevS: hostRate,
 			}
+			fillShuffle(&row, stats)
 			fillUtilization(&row, m)
 			fillCritPct(&row, m)
 			tb.Rows = append(tb.Rows, row)

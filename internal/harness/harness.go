@@ -21,6 +21,7 @@ import (
 
 	"updown"
 	"updown/internal/arch"
+	"updown/internal/kvmsr"
 	"updown/internal/metrics"
 	"updown/internal/sim"
 )
@@ -54,6 +55,12 @@ type Row struct {
 	// makespan (1.0 = fully serialized; lower = more latency hiding),
 	// filled only when the sweep runs with critical-path tracing enabled.
 	CritPct float64
+	// Msgs and Tuples are the run's shuffle traffic: physical network
+	// messages versus logical emitted tuples. They are equal for the
+	// classic one-message-per-tuple shuffle; under coalescing their ratio
+	// is the achieved packing factor (the tup/msg column).
+	Msgs   int64
+	Tuples int64
 }
 
 // metricsConfig returns the recorder options for a sweep row: nil unless
@@ -75,6 +82,21 @@ func fillUtilization(r *Row, m *updown.Machine) {
 	r.Imbalance = s.Imbalance
 	r.DRAMUtil = s.DRAMUtil
 	r.InjUtil = s.InjUtil
+}
+
+// coalesceConfig returns the coalescing-shuffle config for a sweep row:
+// nil (one message per tuple) unless coalescing was requested.
+func coalesceConfig(on bool) *kvmsr.Coalesce {
+	if !on {
+		return nil
+	}
+	return &kvmsr.Coalesce{}
+}
+
+// fillShuffle populates r's shuffle-traffic columns from the run stats.
+func fillShuffle(r *Row, stats updown.Stats) {
+	r.Msgs = stats.ShuffleMsgs
+	r.Tuples = stats.ShuffleTuples
 }
 
 // traceConfig returns the causal-tracing options for a sweep row: nil
@@ -167,13 +189,37 @@ func (t *Table) critTracked() bool {
 	return false
 }
 
+// shuffled reports whether any row carries shuffle-traffic counts, which
+// then adds the msgs and tup/msg columns to the rendered tables.
+func (t *Table) shuffled() bool {
+	for _, r := range t.Rows {
+		if r.Msgs != 0 || r.Tuples != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// tupPerMsg is the achieved packing factor of one row (1.0 for the
+// classic shuffle; 0 when the run shuffled nothing).
+func (r *Row) tupPerMsg() float64 {
+	if r.Msgs == 0 {
+		return 0
+	}
+	return float64(r.Tuples) / float64(r.Msgs)
+}
+
 // Format renders the table as aligned text.
 func (t *Table) Format() string {
 	prof := t.profiled()
 	crit := t.critTracked()
+	shuf := t.shuffled()
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s — %s\n", t.Title, t.Workload)
 	fmt.Fprintf(&b, "%-12s %14s %12s %10s %16s %12s", "config", "cycles", "seconds", "speedup", t.MetricName, "host-Mev/s")
+	if shuf {
+		fmt.Fprintf(&b, " %12s %8s", "msgs", "tup/msg")
+	}
 	if prof {
 		fmt.Fprintf(&b, " %8s %8s %8s", "imbal", "dram%", "inj%")
 	}
@@ -184,6 +230,9 @@ func (t *Table) Format() string {
 	for _, r := range t.Rows {
 		fmt.Fprintf(&b, "%-12s %14d %12.6f %10.2f %16.4g %12.3f",
 			r.Label, r.Cycles, r.Seconds, r.Speedup, r.Metric, r.HostMevS)
+		if shuf {
+			fmt.Fprintf(&b, " %12d %8.2f", r.Msgs, r.tupPerMsg())
+		}
 		if prof {
 			fmt.Fprintf(&b, " %8.2f %8.1f %8.1f", r.Imbalance, 100*r.DRAMUtil, 100*r.InjUtil)
 		}
@@ -202,10 +251,15 @@ func (t *Table) Format() string {
 func (t *Table) Markdown() string {
 	prof := t.profiled()
 	crit := t.critTracked()
+	shuf := t.shuffled()
 	var b strings.Builder
 	fmt.Fprintf(&b, "**%s — %s**\n\n", t.Title, t.Workload)
 	fmt.Fprintf(&b, "| config | cycles | seconds | speedup | %s | host-Mev/s |", t.MetricName)
 	sep := "\n|---|---|---|---|---|---|"
+	if shuf {
+		b.WriteString(" msgs | tup/msg |")
+		sep += "---|---|"
+	}
 	if prof {
 		b.WriteString(" imbal | dram% | inj% |")
 		sep += "---|---|---|"
@@ -218,6 +272,9 @@ func (t *Table) Markdown() string {
 	for _, r := range t.Rows {
 		fmt.Fprintf(&b, "| %s | %d | %.6f | %.2f | %.4g | %.3f |",
 			r.Label, r.Cycles, r.Seconds, r.Speedup, r.Metric, r.HostMevS)
+		if shuf {
+			fmt.Fprintf(&b, " %d | %.2f |", r.Msgs, r.tupPerMsg())
+		}
 		if prof {
 			fmt.Fprintf(&b, " %.2f | %.1f | %.1f |", r.Imbalance, 100*r.DRAMUtil, 100*r.InjUtil)
 		}

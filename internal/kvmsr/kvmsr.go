@@ -31,6 +31,8 @@ package kvmsr
 import (
 	"fmt"
 
+	"updown/internal/arch"
+	"updown/internal/sim"
 	"updown/internal/udweave"
 )
 
@@ -71,6 +73,27 @@ type Spec struct {
 	// map-only invocations (ReduceEvent zero), whose shuffle carries no
 	// tuples.
 	Resilience *Resilience
+	// Coalesce, when non-nil, routes emitted tuples through the
+	// coalescing shuffle (per-destination pack buffers, multi-tuple
+	// messages, max-linger flush guard — see coalesce.go). Composes with
+	// Resilience: packed messages are acked and retransmitted as units.
+	// Ignored for map-only invocations, whose shuffle carries no tuples.
+	Coalesce *Coalesce
+	// Combiner, when non-nil, pre-reduces same-key tuples inside the
+	// pack buffers (see the Combiner type's associativity contract).
+	// Requires Coalesce.
+	Combiner Combiner
+	// ReduceAnyLane declares that kv_reduce keeps no lane-keyed state —
+	// it may correctly run on any lane of the set, not just the one the
+	// reduce binding picked (PageRank accumulates through per-lane
+	// combining caches that a flush-all later drains on every lane;
+	// triangle counting indexes its totals array by the executing lane).
+	// Under Coalesce this lets the distributor on the destination node
+	// run unpacked tuples in place instead of forwarding each to its
+	// owner lane, saving one intra-node message and one event dispatch
+	// per remote tuple. Ignored without Coalesce: the direct path already
+	// sends straight to the binding's lane.
+	ReduceAnyLane bool
 }
 
 // laneState is the per-lane, per-invocation bookkeeping kept in lane-local
@@ -98,6 +121,11 @@ type laneState struct {
 	// window from the lane's first in-flight map task to its lane-done
 	// report.
 	mapActive bool
+	// sendBuf is the lane's reusable shuffle staging buffer: Emit,
+	// SendReduce and the coalescing flush assemble outgoing operand
+	// lists here instead of allocating per call (the engine copies
+	// operands into its message arena, so reuse is safe).
+	sendBuf [sim.MaxOperands]uint64
 
 	// accelerator-master role
 	aExpect int
@@ -168,6 +196,17 @@ type Invocation struct {
 	lGuard      udweave.Label
 	lRekick     udweave.Label
 
+	// Coalescing-shuffle registration (nil coal means one message per
+	// tuple; see coalesce.go).
+	coal         *Coalesce
+	cslot        int
+	lPackDeliver udweave.Label
+	lFlushGuard  udweave.Label
+	// lpn caches the machine's lanes-per-node: node-of-lane arithmetic on
+	// the emit fast path (coalescing granularity, network-message
+	// accounting).
+	lpn int
+
 	// Precomputed span names (tracing): per-emit instants, per-lane map
 	// windows, and per-launch master phases.
 	nameEmit       string
@@ -176,6 +215,7 @@ type Invocation struct {
 	namePhaseDrain string
 	nameRetry      string
 	nameDupDrop    string
+	nameFlush      string
 }
 
 var invSeq int
@@ -198,8 +238,11 @@ func New(p *udweave.Program, s Spec) (*Invocation, error) {
 	if s.MaxOutstanding <= 0 {
 		s.MaxOutstanding = DefaultMaxOutstanding
 	}
+	if s.Combiner != nil && s.Coalesce == nil {
+		return nil, fmt.Errorf("kvmsr: %s: Combiner requires Coalesce", s.Name)
+	}
 	invSeq++
-	v := &Invocation{p: p, s: s, slot: p.AllocSlot()}
+	v := &Invocation{p: p, s: s, slot: p.AllocSlot(), lpn: p.M.LanesPerNode()}
 	n := s.Name
 	v.lMasterStart = p.Define(n+".master_start", v.masterStart)
 	v.lNodeStart = p.Define(n+".node_start", v.nodeStart)
@@ -232,6 +275,18 @@ func New(p *udweave.Program, s Spec) (*Invocation, error) {
 		v.lAck = p.Define(n+".emit_ack", v.ack)
 		v.lGuard = p.Define(n+".guard", v.guard)
 		v.lRekick = p.Define(n+".rekick", v.rekick)
+	}
+	if s.Coalesce != nil && s.ReduceEvent != 0 {
+		co := s.Coalesce.withDefaults(p.M)
+		v.coal = &co
+		v.cslot = p.AllocSlot()
+		v.lFlushGuard = p.Define(n+".flush_guard", v.flushGuard)
+		if v.res == nil {
+			// Under resilience the packed message arrives through
+			// redDeliver (ack + dedup) instead.
+			v.lPackDeliver = p.Define(n+".pack_deliver", v.packDeliver)
+		}
+		v.nameFlush = n + ".flush"
 	}
 	return v, nil
 }
@@ -282,7 +337,11 @@ func (v *Invocation) st(c *udweave.Ctx) *laneState {
 // Emit produces an intermediate tuple from a kv_map task: it schedules a
 // kv_reduce task for key on the lane chosen by the reduce binding. The
 // send is asynchronous with no response, so each emit generates additional
-// parallelism.
+// parallelism. Under Spec.Coalesce a tuple bound for another node is
+// buffered for packing instead of sent immediately (and a Spec.Combiner
+// may absorb it into a buffered same-key tuple, in which case it never
+// reaches a reducer and is not counted toward termination); same-node
+// tuples always go out directly.
 func (v *Invocation) Emit(c *udweave.Ctx, key uint64, vals ...uint64) {
 	if v.s.ReduceEvent == 0 {
 		panic(fmt.Sprintf("kvmsr: %s: Emit without a ReduceEvent", v.s.Name))
@@ -291,43 +350,77 @@ func (v *Invocation) Emit(c *udweave.Ctx, key uint64, vals ...uint64) {
 	if st.doneSent {
 		panic(fmt.Sprintf("kvmsr: %s: Emit on lane %d after its map phase completed (emits from kv_reduce are not supported)", v.s.Name, c.NetworkID()))
 	}
-	st.emitted++
+	st.emitted += v.routeTuple(c, key, vals)
+}
+
+// nodeOf returns the node hosting a lane.
+func (v *Invocation) nodeOf(id arch.NetworkID) int { return int(id) / v.lpn }
+
+// countMsg counts one shuffle message toward Stats.ShuffleMsgs when it
+// enters the inter-node network. Same-node messages ride the intra-node
+// interconnect — they never touch the injection port coalescing exists to
+// relieve — so ShuffleMsgs/ShuffleTuples stays an apples-to-apples network
+// metric in both shuffle modes.
+func (v *Invocation) countMsg(c *udweave.Ctx, target arch.NetworkID) {
+	if v.nodeOf(target) != v.nodeOf(c.NetworkID()) {
+		c.CountShuffle(1, 0)
+	}
+}
+
+// routeTuple delivers one [key, vals...] tuple through the shuffle —
+// buffered per destination node under Coalesce when the owner is remote,
+// directly otherwise — and returns the termination credit: 1, or 0 when a
+// coalescing Combiner absorbed the tuple into a buffered same-key entry.
+func (v *Invocation) routeTuple(c *udweave.Ctx, key uint64, vals []uint64) uint64 {
 	c.Cycles(4)
 	c.Mark(v.nameEmit)
+	c.CountShuffle(0, 1)
 	target := v.s.ReduceBinding.Lane(key, v.s.Lanes)
-	var buf [8]uint64
-	buf[0] = key
-	n := copy(buf[1:], vals)
+	if v.coal != nil {
+		checkCoalescedVals(v, vals)
+		if node := v.nodeOf(target); node != v.nodeOf(c.NetworkID()) {
+			return v.bufferTuple(c, node, key, vals)
+		}
+	}
+	st := v.st(c)
+	buf := &st.sendBuf
 	if v.res != nil {
 		checkResilientVals(v.s.Name, vals)
+		if v.coal != nil {
+			// Same-node tuple under coalescing+resilience: wrap as a
+			// 1-tuple packed message so redDeliver parses one format.
+			buf[0] = packHeader(1, 1+len(vals))
+			buf[1] = key
+			n := copy(buf[2:], vals)
+			v.sendResilient(c, target, buf[:2+n])
+			return 1
+		}
+		buf[0] = key
+		n := copy(buf[1:], vals)
 		v.sendResilient(c, target, buf[:1+n])
-		return
+		return 1
 	}
+	buf[0] = key
+	n := copy(buf[1:], vals)
+	v.countMsg(c, target)
 	c.SendEvent(udweave.EvwNew(target, v.s.ReduceEvent), udweave.IGNRCONT, buf[:1+n]...)
+	return 1
 }
 
 // SendReduce schedules a kv_reduce task for key WITHOUT crediting the emit
 // to this lane. It exists for map tasks that organize their own local
 // workers (the BFS accelerator master-worker scheme): sub-workers send
 // reduces with SendReduce and report their counts to the map task, which
-// credits them with EmitFrom before calling Return. Using SendReduce
-// without a matching EmitFrom breaks termination detection.
-func (v *Invocation) SendReduce(c *udweave.Ctx, key uint64, vals ...uint64) {
+// credits them with EmitFrom before calling Return. The returned credit is
+// the number of reduce tasks the call actually scheduled — 1, or 0 when a
+// coalescing Combiner absorbed the tuple into a buffered same-key entry —
+// and is what the map task must pass to EmitFrom. Using SendReduce without
+// a matching EmitFrom breaks termination detection.
+func (v *Invocation) SendReduce(c *udweave.Ctx, key uint64, vals ...uint64) uint64 {
 	if v.s.ReduceEvent == 0 {
 		panic(fmt.Sprintf("kvmsr: %s: SendReduce without a ReduceEvent", v.s.Name))
 	}
-	c.Cycles(4)
-	c.Mark(v.nameEmit)
-	target := v.s.ReduceBinding.Lane(key, v.s.Lanes)
-	var buf [8]uint64
-	buf[0] = key
-	n := copy(buf[1:], vals)
-	if v.res != nil {
-		checkResilientVals(v.s.Name, vals)
-		v.sendResilient(c, target, buf[:1+n])
-		return
-	}
-	c.SendEvent(udweave.EvwNew(target, v.s.ReduceEvent), udweave.IGNRCONT, buf[:1+n]...)
+	return v.routeTuple(c, key, vals)
 }
 
 // EmitFrom credits count reduce sends (performed via SendReduce by local
@@ -461,6 +554,14 @@ func (v *Invocation) pump(c *udweave.Ctx, st *laneState) {
 	}
 	if st.outstanding == 0 && st.nextKey >= st.endKey && st.exhausted && !st.doneSent {
 		st.doneSent = true
+		// The lane's map phase is over (its last task returned): flush
+		// everything still packed so the emit count reported upward is
+		// backed by in-flight tuples. Tuples buffered on this lane later
+		// by other lanes' sub-workers (SendReduce) are the flush guard's
+		// responsibility.
+		if v.coal != nil {
+			v.flushAll(c)
+		}
 		c.Cycles(2)
 		c.SendEvent(udweave.EvwNew(v.s.Lanes.ParentAccelMaster(v.p.M, self), v.lLaneDone),
 			udweave.IGNRCONT, st.emitted)

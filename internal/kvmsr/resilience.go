@@ -154,6 +154,7 @@ func (v *Invocation) sendResilient(c *udweave.Ctx, target arch.NetworkID, buf []
 	rs.out[id] = pe
 	rs.totals.Emits++
 	c.ScratchAccess(2)
+	v.countMsg(c, target)
 	c.SendEventU(udweave.EvwNew(target, v.lRedDeliver), udweave.IGNRCONT, pe.ops[:pe.nops]...)
 	if !rs.guardOn {
 		rs.guardOn = true
@@ -171,6 +172,7 @@ func (v *Invocation) resend(c *udweave.Ctx, rs *resilState, pe *pendingEmit) {
 	if c.Tracing() {
 		c.Mark(v.nameRetry)
 	}
+	v.countMsg(c, pe.target)
 	c.SendEventU(udweave.EvwNew(pe.target, v.lRedDeliver), udweave.IGNRCONT, pe.ops[:pe.nops]...)
 }
 
@@ -238,7 +240,12 @@ func (v *Invocation) ack(c *udweave.Ctx) {
 // redDeliver is the reducer-side delivery shim: ack the sender (every
 // time — the retransmission may mean the previous ack was lost), dedup
 // by (sender, emit ID), and hand first deliveries to the user's
-// kv_reduce handler with the protocol metadata stripped.
+// kv_reduce handler with the protocol metadata stripped. Under the
+// coalescing shuffle the unit of ack and dedup is the packed message
+// (every resilient delivery is packed then, including 1-tuple same-node
+// wraps); admission routes each contained tuple to its owner lane exactly
+// once on the reliable class, so per-tuple exactly-once delivery follows
+// from per-message exactly-once admission.
 func (v *Invocation) redDeliver(c *udweave.Ctx) {
 	rs := v.rst(c)
 	n := c.NOps()
@@ -251,6 +258,11 @@ func (v *Invocation) redDeliver(c *udweave.Ctx) {
 		if c.Tracing() {
 			c.Mark(v.nameDupDrop)
 		}
+		c.YieldTerminate()
+		return
+	}
+	if v.coal != nil {
+		v.unpackDispatch(c, src, c.Ops()[:n-1])
 		c.YieldTerminate()
 		return
 	}

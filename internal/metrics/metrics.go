@@ -122,11 +122,13 @@ type KindStat struct {
 // sim.Options.Metrics (or updown.Config.Metrics); it may observe several
 // consecutive Run calls and accumulates across them.
 type Recorder struct {
-	interval  arch.Cycles
-	nodes     []NodeSeries
-	views     []*ShardView
-	finalTime arch.Cycles
-	faults    fault.Counts
+	interval      arch.Cycles
+	nodes         []NodeSeries
+	views         []*ShardView
+	finalTime     arch.Cycles
+	faults        fault.Counts
+	shuffleMsgs   int64
+	shuffleTuples int64
 }
 
 // New builds a recorder for a machine with the given node count.
@@ -171,6 +173,14 @@ func (r *Recorder) ObserveFinalTime(t arch.Cycles) {
 // engine calls it after every Run with the accumulated totals (like
 // ObserveFinalTime, later calls replace earlier ones).
 func (r *Recorder) ObserveFaults(c fault.Counts) { r.faults = c }
+
+// ObserveShuffle records the run's cumulative shuffle traffic — inter-node
+// network messages carrying shuffle payload and logical emitted tuples;
+// the engine calls it after every Run with the accumulated totals (like
+// ObserveFinalTime, later calls replace earlier ones).
+func (r *Recorder) ObserveShuffle(msgs, tuples int64) {
+	r.shuffleMsgs, r.shuffleTuples = msgs, tuples
+}
 
 // ShardView is the per-engine-shard write interface. A view writes only to
 // nodes its shard owns, which makes the recorder race-free without locks.
@@ -244,13 +254,19 @@ type Profile struct {
 	// Fault is the cumulative injected-fault count (all-zero when fault
 	// injection was disabled).
 	Fault fault.Counts
+	// ShuffleMsgs and ShuffleTuples are the run's shuffle traffic:
+	// inter-node network messages carrying shuffle payload and logical
+	// emitted tuples (see sim.Stats; both zero for shuffle-free runs).
+	ShuffleMsgs   int64
+	ShuffleTuples int64
 }
 
 // Profile merges the shard views into a deterministic snapshot. The node
 // series are shared with the recorder, not copied; take the profile after
 // the run, not during it.
 func (r *Recorder) Profile() *Profile {
-	p := &Profile{Interval: r.interval, FinalTime: r.finalTime, Nodes: r.nodes, Fault: r.faults}
+	p := &Profile{Interval: r.interval, FinalTime: r.finalTime, Nodes: r.nodes, Fault: r.faults,
+		ShuffleMsgs: r.shuffleMsgs, ShuffleTuples: r.shuffleTuples}
 	for _, v := range r.views {
 		for k := range v.kinds {
 			p.Kinds[k].Count += v.kinds[k].Count
@@ -371,6 +387,13 @@ func (p *Profile) WriteText(w io.Writer) error {
 	if !p.Fault.Zero() {
 		fmt.Fprintf(&b, "faults: dropped=%d dupped=%d delayed=%d dead-letters=%d stalls=%d\n",
 			p.Fault.Dropped, p.Fault.Dupped, p.Fault.Delayed, p.Fault.DeadLetters, p.Fault.Stalled)
+	}
+	if p.ShuffleTuples != 0 || p.ShuffleMsgs != 0 {
+		line := fmt.Sprintf("shuffle: tuples=%d network-msgs=%d", p.ShuffleTuples, p.ShuffleMsgs)
+		if p.ShuffleMsgs > 0 {
+			line += fmt.Sprintf(" tup/msg=%.2f", float64(p.ShuffleTuples)/float64(p.ShuffleMsgs))
+		}
+		b.WriteString(line + "\n")
 	}
 	type row struct {
 		node int

@@ -109,6 +109,16 @@ type Stats struct {
 	DRAMBytes  int64
 	// Sends counts messages injected into the network.
 	Sends int64
+	// ShuffleMsgs and ShuffleTuples separate the two meanings "sends"
+	// conflates once a shuffle packs tuples: ShuffleMsgs counts shuffle
+	// messages that enter the inter-node network (cross-node sends, the
+	// ones that pay injection-port serialization — retransmissions
+	// included, acks and intra-node deliveries excluded) and
+	// ShuffleTuples counts logical emitted tuples. Their ratio is the
+	// number of logical tuples each network message carries, comparable
+	// across shuffle modes. Runtimes report them through Env.AddShuffle.
+	ShuffleMsgs   int64
+	ShuffleTuples int64
 	// BusyCycles is the sum of actor occupancy, used for utilization.
 	BusyCycles int64
 	// LanesTouched is the number of lanes that executed at least one
@@ -421,6 +431,8 @@ func (e *Engine) Run() (Stats, error) {
 		total.DRAMWrites += s.stats.DRAMWrites
 		total.DRAMBytes += s.stats.DRAMBytes
 		total.Sends += s.stats.Sends
+		total.ShuffleMsgs += s.stats.ShuffleMsgs
+		total.ShuffleTuples += s.stats.ShuffleTuples
 		total.BusyCycles += s.stats.BusyCycles
 		total.Faults.Add(s.stats.Faults)
 		if s.stats.FinalTime > total.FinalTime {
@@ -435,6 +447,7 @@ func (e *Engine) Run() (Stats, error) {
 	if e.rec != nil {
 		e.rec.ObserveFinalTime(total.FinalTime)
 		e.rec.ObserveFaults(total.Faults)
+		e.rec.ObserveShuffle(total.ShuffleMsgs, total.ShuffleTuples)
 	}
 	if e.tr != nil {
 		e.tr.ObserveFinalTime(total.FinalTime)
@@ -805,6 +818,16 @@ func (v *Env) DRAMSlowdown() int64 {
 		return 1
 	}
 	return v.e.fault.DRAMFactor(v.e.nodeOfID[v.self], v.Now())
+}
+
+// AddShuffle accounts shuffle traffic in the run statistics: msgs
+// inter-node network messages carrying tuples payload. Runtimes call it
+// once per cross-node payload send and once per logical emit so packed
+// and unpacked runs stay comparable; acks, control traffic and intra-node
+// deliveries are excluded.
+func (v *Env) AddShuffle(msgs, tuples int64) {
+	v.shard.stats.ShuffleMsgs += msgs
+	v.shard.stats.ShuffleTuples += tuples
 }
 
 // AddDRAMBytes accounts memory traffic in the run statistics; it is called

@@ -326,6 +326,67 @@ func (c *Ctx) Invoke(label Label) {
 	c.label = saved
 }
 
+// InvokeLocal dispatches a synthetic event on the executing lane: a fresh
+// thread runs the handler for label with the given operands, attributed to
+// src as if src had sent the message directly (handlers that key dedup
+// windows or parent pointers on Ctx.Src see the original sender, not this
+// lane). Message-unpacking shims — KVMSR's coalesced shuffle delivering
+// each packed tuple — use it to run every tuple through the normal thread
+// lifecycle (create/dispatch/yield-or-dealloc charging, termination
+// bookkeeping, trace spans) without a network message per tuple. The
+// spawned thread may outlive the call: if the handler yields, later
+// messages reach it through the usual EvwExisting continuations.
+func (c *Ctx) InvokeLocal(src arch.NetworkID, label Label, ops ...uint64) {
+	l := c.lane
+	p := l.p
+	if int(label) >= len(p.handlers) || p.handlers[label] == nil {
+		panic(fmt.Sprintf("udweave: InvokeLocal of undefined label %d", label))
+	}
+	if len(ops) > sim.MaxOperands {
+		panic(fmt.Sprintf("udweave: InvokeLocal with %d operands", len(ops)))
+	}
+	tv := c.env.Trace()
+	if tv != nil && !tv.SpansOn() {
+		tv = nil
+	}
+	begin := c.env.Now()
+	th := l.allocThread()
+	c.env.Charge(p.M.CostThreadCreate)
+	if tv != nil {
+		tv.AsyncBegin(l.pid, l.tid, l.threadSpanID(th), "thread", begin)
+	}
+	var m sim.Message
+	m.Src = src
+	m.Dst = l.id
+	m.Kind = c.msg.Kind
+	m.Event = EvwExisting(l.id, th.TID, label)
+	m.Cont = IGNRCONT
+	m.NOps = uint8(copy(m.Ops[:], ops))
+	c.env.Charge(p.M.CostEventDispatch)
+	sc := Ctx{env: c.env, lane: l, th: th, msg: &m, label: label}
+	p.handlers[label](&sc)
+	if th.terminated {
+		c.env.Charge(p.M.CostThreadDealloc)
+		if tv != nil {
+			tv.AsyncEnd(l.pid, l.tid, l.threadSpanID(th), "thread", c.env.Now())
+		}
+		l.threads[th.TID] = nil
+		l.freeTIDs = append(l.freeTIDs, th.TID)
+		l.live--
+		th.State = nil
+		th.terminated = false
+		th.timeoutLabel = 0
+		l.pool = append(l.pool, th)
+	} else {
+		c.env.Charge(p.M.CostThreadYield)
+	}
+	if tv != nil {
+		// The inner span begins at the local dispatch time, not the outer
+		// event's start, so it nests inside the enclosing event's span.
+		tv.Span(l.pid, l.tid, p.names[label], begin, c.env.Now())
+	}
+}
+
 // EventWord returns the current event word (CEVNT): this lane, this thread,
 // this label. Combined with EvwUpdateEvent it lets an event direct replies
 // back to its own thread.
@@ -342,6 +403,12 @@ func (c *Ctx) Cycles(n int) { c.env.Charge(arch.Cycles(n) * c.lane.p.M.CostInstr
 
 // ScratchAccess charges n scratchpad accesses.
 func (c *Ctx) ScratchAccess(n int) { c.env.Charge(arch.Cycles(n) * c.lane.p.M.CostScratchAccess) }
+
+// CountShuffle accounts shuffle traffic in the run statistics: msgs
+// network messages carrying tuples logical emits (see
+// sim.Stats.ShuffleMsgs/ShuffleTuples). Observability only — it charges
+// no cycles and never alters simulated behavior.
+func (c *Ctx) CountShuffle(msgs, tuples int64) { c.env.AddShuffle(msgs, tuples) }
 
 // YieldTerminate marks the thread for deallocation when the handler
 // returns (yield_terminate).

@@ -17,3 +17,9 @@ go vet ./...
 go build ./...
 go test ./...
 go test -race ./internal/sim/ ./internal/kvmsr/ ./internal/metrics/
+
+# Bench smoke: the shuffle-aggregation benchmark asserts (via b.Fatalf)
+# that coalesced+combined PageRank pushes strictly fewer messages into
+# the inter-node network than the classic shuffle while emitting the
+# same number of logical tuples.
+go test -run XX -bench BenchmarkKVMSRShuffle -benchtime=5x .

@@ -98,6 +98,13 @@ type Config struct {
 	// class with timeout retransmission and idempotent apply. Required for
 	// correct results under a Fault plan that targets KindEventU.
 	Resilience *kvmsr.Resilience
+	// Coalesce, when non-nil, is handed to applications (via
+	// Machine.Coalesce) so they opt their KVMSR invocations into the
+	// coalescing shuffle: per-destination pack buffers that turn several
+	// emitted tuples into one multi-tuple network message, with
+	// application-chosen combiners pre-reducing same-key tuples before
+	// they reach the network. Nil keeps one message per tuple.
+	Coalesce *kvmsr.Coalesce
 	// Trace, when non-nil, enables the causal tracing recorder: named
 	// spans (thread lifetimes, event executions, KVMSR phases, program
 	// phases) and/or the per-message causal edge stream that feeds
@@ -126,6 +133,9 @@ type Machine struct {
 	// Resilience echoes Config.Resilience for applications to pass into
 	// their KVMSR specs; nil means the classic (reliable-fabric) shuffle.
 	Resilience *kvmsr.Resilience
+	// Coalesce echoes Config.Coalesce for applications to pass into
+	// their KVMSR specs; nil means one shuffle message per tuple.
+	Coalesce *kvmsr.Coalesce
 }
 
 // New assembles a machine.
@@ -162,7 +172,7 @@ func New(cfg Config) (*Machine, error) {
 	}
 	ctrls := dram.Install(eng, gas)
 	return &Machine{Arch: a, Engine: eng, GAS: gas, Prog: prog, Ctrls: ctrls,
-		Metrics: rec, Trace: tr, Resilience: cfg.Resilience}, nil
+		Metrics: rec, Trace: tr, Resilience: cfg.Resilience, Coalesce: cfg.Coalesce}, nil
 }
 
 // LanePeek returns a resolver from lane NetworkID to its simulated actor,
