@@ -1,0 +1,220 @@
+package updown_test
+
+// Machine-level checkpoint/restore: a run paused mid-flight, serialized
+// and rebuilt into a freshly assembled machine must finish with the same
+// Stats and application output as a run that was never interrupted —
+// with metrics, tracing, fault injection and the resilience config all
+// enabled. Mismatched programs and machines must be rejected.
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"testing"
+
+	"updown"
+	"updown/internal/arch"
+	"updown/internal/fault"
+	"updown/internal/kvmsr"
+	"updown/internal/metrics"
+	"updown/internal/udweave"
+)
+
+// relayState is per-thread state; laneTally accumulates per-lane output
+// in lane-local storage. Both travel through the checkpoint via gob.
+type relayState struct{ Sum, Hops uint64 }
+type laneTally struct{ Seen, Sum uint64 }
+
+func init() {
+	gob.Register(&relayState{})
+	gob.Register(&laneTally{})
+}
+
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+const relayNodes = 3
+
+// buildRelay assembles the test machine: a relay workload hopping across
+// nodes on a mix of reliable and unreliable sends, under a fault plan
+// with drops, dups, delays, a lane stall and a degraded node, with
+// metrics, tracing and a resilience config enabled. extraHandler grows
+// the program (for the shape-guard test); post seeds the workload.
+func buildRelay(t *testing.T, post, extraHandler bool) (*updown.Machine, updown.VA) {
+	t.Helper()
+	a := arch.DefaultMachine(relayNodes)
+	m, err := updown.New(updown.Config{
+		Nodes:   relayNodes,
+		Shards:  relayNodes,
+		Metrics: &metrics.Options{},
+		Trace:   &metrics.TraceOptions{},
+		Fault: &fault.Plan{
+			Seed: 99,
+			Rules: []fault.MsgRule{{
+				SrcNode: fault.AnyNode, DstNode: fault.AnyNode,
+				DropProb: 0.05, DupProb: 0.10, DelayProb: 0.20, DelayCycles: 4000,
+			}},
+			Stalls:   []fault.Stall{{Lane: a.LaneID(1, 0, 3), At: 0, For: 9000}},
+			Degrades: []fault.Degrade{{Node: 2, InjFactor: 2, DRAMFactor: 3, From: 2000}},
+		},
+		Resilience: &kvmsr.Resilience{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	va, err := m.GAS.DRAMmalloc(4096*relayNodes, 0, 2, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var relay updown.Label
+	relay = m.Prog.Define("relay", func(c *updown.Ctx) {
+		st, _ := c.State().(*relayState)
+		if st == nil {
+			st = &relayState{}
+			c.SetState(st)
+		}
+		st.Sum += c.Op(0)
+		st.Hops++
+		tl := c.LaneLocal("tally", func() any { return &laneTally{} }).(*laneTally)
+		tl.Seen++
+		tl.Sum += c.Op(0)
+		c.Cycles(25)
+		h := mix(c.Op(0) ^ uint64(c.NetworkID())<<24)
+		c.DRAMFetchAdd(va+(h%64)*8, c.Op(0), updown.IGNRCONT)
+		ttl := c.Op(1)
+		if ttl == 0 {
+			if st.Hops&1 == 1 {
+				return // yield: leave a live thread whose state must survive
+			}
+			c.YieldTerminate()
+			return
+		}
+		node := int(h % relayNodes)
+		lane := int(h>>8) % 64
+		nxt := updown.EvwNew(c.Program().M.LaneID(node, 0, lane), relay)
+		if h&2 == 0 {
+			c.SendEventU(nxt, updown.IGNRCONT, h%1000, ttl-1)
+		} else {
+			c.SendEvent(nxt, updown.IGNRCONT, h%1000, ttl-1)
+		}
+		c.YieldTerminate()
+	})
+	if extraHandler {
+		m.Prog.Define("extra", func(c *updown.Ctx) { c.YieldTerminate() })
+	}
+	if post {
+		for r := uint64(0); r < 6; r++ {
+			h := mix(1000 + r)
+			id := a.LaneID(int(h%relayNodes), 0, int(h>>8)%64)
+			m.Start(updown.EvwNew(id, relay), h%500, 40)
+		}
+		// One root on the stalled lane, so the stall provably fires.
+		m.Start(updown.EvwNew(a.LaneID(1, 0, 3), relay), 7, 40)
+	}
+	return m, va
+}
+
+// relayOutput fingerprints the application-visible output: the lane
+// tallies of every lane plus a slice of the DRAM accumulators.
+func relayOutput(m *updown.Machine, va updown.VA) string {
+	var buf bytes.Buffer
+	for node := 0; node < relayNodes; node++ {
+		for lane := 0; lane < 64; lane++ {
+			id := m.Arch.LaneID(node, 0, lane)
+			a := m.Engine.PeekActor(id)
+			if a == nil {
+				continue
+			}
+			l := a.(*udweave.Lane)
+			if tl, ok := l.LocalPeek("tally").(*laneTally); ok {
+				fmt.Fprintf(&buf, "%d:%d/%d ", id, tl.Seen, tl.Sum)
+			}
+		}
+	}
+	for i := uint64(0); i < 64; i++ {
+		fmt.Fprintf(&buf, "%d ", m.GAS.ReadU64(va+i*8))
+	}
+	return buf.String()
+}
+
+func TestMachineCheckpointRoundTrip(t *testing.T) {
+	ref, refVA := buildRelay(t, true, false)
+	refStats, err := ref.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refStats.Events < 50 || refStats.Faults.Dropped == 0 || refStats.Faults.Stalled == 0 {
+		t.Fatalf("workload too tame to be a useful fixture: %+v", refStats)
+	}
+	refOut := relayOutput(ref, refVA)
+
+	for _, pause := range []updown.Cycles{0, 2500, 20000} {
+		t.Run(fmt.Sprintf("pause=%d", pause), func(t *testing.T) {
+			m, _ := buildRelay(t, true, false)
+			if _, err := m.RunUntil(pause); err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := m.Checkpoint(&buf); err != nil {
+				t.Fatal(err)
+			}
+			f, fVA := buildRelay(t, false, false)
+			if err := f.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+				t.Fatal(err)
+			}
+			stats, err := f.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stats != refStats {
+				t.Errorf("stats diverge:\n got %+v\nwant %+v", stats, refStats)
+			}
+			if out := relayOutput(f, fVA); out != refOut {
+				t.Errorf("application output diverges:\n got %s\nwant %s", out, refOut)
+			}
+		})
+	}
+}
+
+func TestMachineRestoreGuards(t *testing.T) {
+	m, _ := buildRelay(t, true, false)
+	if _, err := m.RunUntil(2500); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// A machine whose program registered an extra handler is a different
+	// program; the handler-count guard must reject it.
+	wrongProg, _ := buildRelay(t, false, true)
+	if err := wrongProg.Restore(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("restore into a machine with a different program was accepted")
+	}
+
+	// A machine of a different size fails the engine's architecture
+	// validation with the typed error.
+	wrongArch, err := updown.New(updown.Config{Nodes: relayNodes + 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Match the program shape so the earlier guard passes and the engine
+	// guard is the one exercised.
+	wrongArch.Prog.Define("relay", func(c *updown.Ctx) {})
+	rerr := wrongArch.Restore(bytes.NewReader(buf.Bytes()))
+	var re *updown.RestoreError
+	if !errors.As(rerr, &re) || re.Kind != updown.RestoreMachineMismatch {
+		t.Errorf("got %v, want RestoreMachineMismatch", rerr)
+	}
+
+	// Garbage is not a checkpoint.
+	if err := m.Restore(bytes.NewReader([]byte("not a checkpoint at all"))); err == nil {
+		t.Error("garbage stream accepted")
+	}
+}

@@ -31,13 +31,30 @@
 // against fault-free ones:
 //
 //	updown-sim -app bfs -nodes 4 -fault-spec drop=0.05,dup=0.02 -fault-seed 7 -resilient -checksum
+//
+// Checkpointing: for the graph applications (pr, bfs, tc), -checkpoint
+// writes a warm-start checkpoint right after the graph is generated,
+// split and loaded into the global address space — the expensive,
+// deterministic preamble — and then runs normally. -restore rebuilds the
+// machine from the same flags, loads that checkpoint instead of
+// regenerating the graph, and runs; the run is bit-identical to the
+// checkpointing run. The machine flags (-nodes, -accel, -spare) must
+// match the checkpointing invocation; mismatches are rejected before any
+// state changes:
+//
+//	updown-sim -app pr -nodes 4 -scale 14 -checkpoint pr.ckpt
+//	updown-sim -app pr -nodes 4 -restore pr.ckpt     # skips generation+load
 package main
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/binary"
+	"encoding/gob"
 	"flag"
 	"fmt"
 	"hash/fnv"
+	"io"
 	"log"
 	"os"
 
@@ -83,7 +100,22 @@ func main() {
 	combine := flag.Bool("combine", false, "with -coalesce: pre-reduce same-key tuples in the pack buffers (pr: float add, tc: keep-first)")
 	spare := flag.Bool("spare", false, "add one machine node beyond -nodes that carries no lanes' work and no data: a safe fail-stop target")
 	checksum := flag.Bool("checksum", false, "print a deterministic application-result checksum")
+	ckptPath := flag.String("checkpoint", "", "write a warm-start checkpoint (loaded graph + machine state) to FILE after graph load, then run (pr|bfs|tc)")
+	restorePath := flag.String("restore", "", "restore a -checkpoint FILE instead of generating and loading the graph, then run")
 	flag.Parse()
+
+	if *ckptPath != "" && *restorePath != "" {
+		fmt.Fprintln(os.Stderr, "updown-sim: -checkpoint and -restore are mutually exclusive")
+		os.Exit(2)
+	}
+	if *ckptPath != "" || *restorePath != "" {
+		switch *app {
+		case "pr", "bfs", "tc":
+		default:
+			fmt.Fprintf(os.Stderr, "updown-sim: -checkpoint/-restore target the graph applications (pr|bfs|tc), not %q\n", *app)
+			os.Exit(2)
+		}
+	}
 
 	plan, err := fault.ParseSpec(*faultSpec)
 	if err != nil {
@@ -154,25 +186,46 @@ func main() {
 
 	switch *app {
 	case "pr", "bfs", "tc":
-		g := loadGraph(*gvPath, *nlPath, *preset, *scale, *seed, *app == "tc")
-		mem := *memNodes
-		if mem == 0 {
-			mem = *nodes
+		// The warm-start boundary: generation, splitting and LoadToGAS are
+		// the deterministic preamble a checkpoint lets later runs skip.
+		var dg *graph.DeviceGraph
+		var edges uint64 // original (pre-split) directed edge count
+		if *restorePath != "" {
+			dg, edges = mustRestoreWarmStart(m, *restorePath, *app)
+		} else {
+			g := loadGraph(*gvPath, *nlPath, *preset, *scale, *seed, *app == "tc")
+			edges = g.NumEdges()
+			mem := *memNodes
+			if mem == 0 {
+				mem = *nodes
+			}
+			pl := graph.Placement{FirstNode: 0, NRNodes: mem, BlockBytes: 32 << 10}
+			var split *graph.SplitGraph
+			switch *app {
+			case "pr":
+				split = graph.SplitWith(g, graph.SplitOptions{
+					MaxDeg: *maxDeg, Seed: graph.DefaultShuffleSeed, SpreadInEdges: true})
+			case "bfs":
+				split = graph.Split(g, 256)
+			case "tc":
+				split = graph.Split(g, 0)
+			}
+			dg = mustLoad(m, split, pl)
+			if *ckptPath != "" {
+				must(writeWarmStart(m, *ckptPath, *app, dg, edges))
+				fmt.Printf("checkpoint written to %s\n", *ckptPath)
+			}
 		}
-		pl := graph.Placement{FirstNode: 0, NRNodes: mem, BlockBytes: 32 << 10}
 		switch *app {
 		case "pr":
-			split := graph.SplitWith(g, graph.SplitOptions{
-				MaxDeg: *maxDeg, Seed: graph.DefaultShuffleSeed, SpreadInEdges: true})
-			dg := mustLoad(m, split, pl)
 			a, err := pagerank.New(m, dg, pagerank.Config{Iterations: *iters, Lanes: appLanes, Combine: *combine})
 			must(err)
 			a.InitValues()
 			stats, err := a.Run()
 			must(err)
 			report(m, stats, a.Elapsed())
-			fmt.Printf("updates: %d (%.4f GUPS)\n", g.NumEdges()*uint64(*iters),
-				float64(g.NumEdges()*uint64(*iters))/m.Seconds(a.Elapsed())/1e9)
+			fmt.Printf("updates: %d (%.4f GUPS)\n", edges*uint64(*iters),
+				float64(edges*uint64(*iters))/m.Seconds(a.Elapsed())/1e9)
 			resTotals = a.ResilienceTotals()
 			if *checksum {
 				vals := make([]uint64, 0, len(a.Values()))
@@ -182,7 +235,6 @@ func main() {
 				sum, haveSum = digest(vals...), true
 			}
 		case "bfs":
-			dg := mustLoad(m, graph.Split(g, 256), pl)
 			a, err := bfs.New(m, dg, bfs.Config{Root: uint32(*root), Lanes: appLanes})
 			must(err)
 			a.InitValues()
@@ -197,7 +249,6 @@ func main() {
 				haveSum = true
 			}
 		case "tc":
-			dg := mustLoad(m, graph.Split(g, 0), pl)
 			a, err := tc.New(m, dg, tc.Config{Lanes: appLanes, Combine: *combine})
 			must(err)
 			stats, err := a.Run()
@@ -347,6 +398,82 @@ func mustLoad(m *updown.Machine, s *graph.SplitGraph, pl graph.Placement) *graph
 	dg, err := graph.LoadToGAS(m.GAS, s, pl)
 	must(err)
 	return dg
+}
+
+// warmStart is the CLI-level checkpoint metadata riding in front of the
+// machine checkpoint: which app the graph was prepared for, and the
+// host-side graph handle (device addresses plus the split graph the app
+// drivers walk). The graph's GAS-resident arrays travel inside the
+// machine checkpoint itself.
+type warmStart struct {
+	App   string
+	Edges uint64
+	DG    *graph.DeviceGraph
+}
+
+const cliCkptMagic = "UDCLICKP"
+
+// writeWarmStart writes magic, a length-prefixed gob of the warmStart
+// metadata, then the machine checkpoint. The gob blob is length-prefixed
+// because gob decoders buffer ahead and would otherwise eat the head of
+// the machine section.
+func writeWarmStart(m *updown.Machine, path, app string, dg *graph.DeviceGraph, edges uint64) error {
+	var meta bytes.Buffer
+	if err := gob.NewEncoder(&meta).Encode(&warmStart{App: app, Edges: edges, DG: dg}); err != nil {
+		return fmt.Errorf("checkpoint metadata: %w", err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	var lenBuf [8]byte
+	binary.LittleEndian.PutUint64(lenBuf[:], uint64(meta.Len()))
+	if _, err := io.WriteString(w, cliCkptMagic); err == nil {
+		if _, err = w.Write(lenBuf[:]); err == nil {
+			_, err = w.Write(meta.Bytes())
+		}
+	}
+	if err == nil {
+		err = m.Checkpoint(w)
+	}
+	if err == nil {
+		err = w.Flush()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(path)
+		return fmt.Errorf("checkpoint %s: %w", path, err)
+	}
+	return nil
+}
+
+// mustRestoreWarmStart loads a -checkpoint file into the freshly
+// assembled machine and returns the graph handle for the app driver. The
+// app recorded in the file must match -app; machine mismatches are
+// rejected by Machine.Restore with a typed error before any state
+// changes.
+func mustRestoreWarmStart(m *updown.Machine, path, app string) (*graph.DeviceGraph, uint64) {
+	f, err := os.Open(path)
+	must(err)
+	defer f.Close()
+	r := bufio.NewReader(f)
+	head := make([]byte, len(cliCkptMagic)+8)
+	if _, err := io.ReadFull(r, head); err != nil || string(head[:len(cliCkptMagic)]) != cliCkptMagic {
+		log.Fatalf("%s is not an updown-sim checkpoint", path)
+	}
+	metaBytes := make([]byte, binary.LittleEndian.Uint64(head[len(cliCkptMagic):]))
+	_, err = io.ReadFull(r, metaBytes)
+	must(err)
+	var ws warmStart
+	must(gob.NewDecoder(bytes.NewReader(metaBytes)).Decode(&ws))
+	if ws.App != app {
+		log.Fatalf("%s was checkpointed for -app %s, not %s", path, ws.App, app)
+	}
+	must(m.Restore(r))
+	return ws.DG, ws.Edges
 }
 
 func report(m *updown.Machine, stats updown.Stats, elapsed updown.Cycles) {

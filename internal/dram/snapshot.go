@@ -1,0 +1,19 @@
+package dram
+
+import "updown/internal/sim"
+
+// Snapshot implements sim.Snapshotter: the controller's only mutable
+// state is its bandwidth horizon and traffic counter (the backing store
+// belongs to gasmem, which snapshots separately).
+func (c *Controller) Snapshot(w *sim.SnapWriter) error {
+	w.I64(c.busy64)
+	w.I64(c.Bytes)
+	return w.Err()
+}
+
+// RestoreSnapshot implements sim.Snapshotter.
+func (c *Controller) RestoreSnapshot(r *sim.SnapReader) error {
+	c.busy64 = r.I64()
+	c.Bytes = r.I64()
+	return r.Err()
+}

@@ -1,0 +1,174 @@
+package gasmem
+
+// Checkpoint support: GAS serializes its allocator bookkeeping and
+// backing stores with its own fixed-width little-endian encoding, so the
+// package stays free of simulator dependencies. The section is embedded
+// in the machine-level checkpoint (see the updown package).
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/bits"
+)
+
+const (
+	snapMagic   = "UDGASMEM"
+	snapVersion = uint32(1)
+)
+
+type snapWriter struct {
+	w   *bufio.Writer
+	buf [8]byte
+	err error
+}
+
+func (w *snapWriter) u64(v uint64) {
+	if w.err != nil {
+		return
+	}
+	binary.LittleEndian.PutUint64(w.buf[:], v)
+	_, w.err = w.w.Write(w.buf[:])
+}
+
+type snapReader struct {
+	r   io.Reader
+	buf [8]byte
+	err error
+}
+
+func (r *snapReader) u64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if _, r.err = io.ReadFull(r.r, r.buf[:]); r.err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(r.buf[:])
+}
+
+// Snapshot writes the address space — regions, per-node usage and the
+// full backing stores — to w. The encoding is canonical: equal address
+// spaces produce equal bytes.
+func (g *GAS) Snapshot(w io.Writer) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	bw := bufio.NewWriter(w)
+	sw := &snapWriter{w: bw}
+	if sw.err == nil {
+		_, sw.err = bw.WriteString(snapMagic)
+	}
+	sw.u64(uint64(snapVersion))
+	sw.u64(uint64(g.nodes))
+	sw.u64(g.capacity)
+	sw.u64(g.nextVA)
+	for _, u := range g.used {
+		sw.u64(u)
+	}
+	sw.u64(uint64(len(g.regions)))
+	for _, r := range g.regions {
+		sw.u64(r.Base)
+		sw.u64(r.Size)
+		sw.u64(uint64(r.FirstNode))
+		sw.u64(uint64(r.NRNodes))
+		sw.u64(r.BS)
+		for _, pb := range r.physBase {
+			sw.u64(pb)
+		}
+	}
+	for _, st := range g.store {
+		sw.u64(uint64(len(st)))
+		for _, v := range st {
+			sw.u64(v)
+		}
+	}
+	if sw.err != nil {
+		return fmt.Errorf("gasmem: snapshot write: %w", sw.err)
+	}
+	return bw.Flush()
+}
+
+// RestoreSnapshot replaces the address space's contents with a snapshot
+// previously written by Snapshot. The GAS must span the same number of
+// nodes with the same per-node capacity; mismatches are rejected before
+// any state is modified.
+func (g *GAS) RestoreSnapshot(r io.Reader) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	br := bufio.NewReader(r)
+	sr := &snapReader{r: br}
+	magic := make([]byte, len(snapMagic))
+	if _, err := io.ReadFull(br, magic); err != nil || string(magic) != snapMagic {
+		return fmt.Errorf("gasmem: not a GAS snapshot (got %q)", magic)
+	}
+	if v := sr.u64(); sr.err == nil && v != uint64(snapVersion) {
+		return fmt.Errorf("gasmem: snapshot version %d, this build reads %d", v, snapVersion)
+	}
+	nodes := sr.u64()
+	capacity := sr.u64()
+	nextVA := sr.u64()
+	if sr.err != nil {
+		return fmt.Errorf("gasmem: truncated snapshot header: %w", sr.err)
+	}
+	if int(nodes) != g.nodes || capacity != g.capacity {
+		return fmt.Errorf("gasmem: snapshot for %d nodes × %d bytes, this GAS has %d × %d",
+			nodes, capacity, g.nodes, g.capacity)
+	}
+	used := make([]uint64, g.nodes)
+	for i := range used {
+		used[i] = sr.u64()
+	}
+	nregions := sr.u64()
+	if sr.err == nil && nregions > 1<<32 {
+		return fmt.Errorf("gasmem: implausible region count %d", nregions)
+	}
+	regions := make([]*Region, 0, nregions)
+	for i := uint64(0); i < nregions && sr.err == nil; i++ {
+		reg := &Region{
+			Base:      sr.u64(),
+			Size:      sr.u64(),
+			FirstNode: int(sr.u64()),
+			NRNodes:   int(sr.u64()),
+			BS:        sr.u64(),
+		}
+		if sr.err != nil {
+			break
+		}
+		if reg.NRNodes <= 0 || reg.NRNodes&(reg.NRNodes-1) != 0 ||
+			reg.FirstNode < 0 || reg.FirstNode+reg.NRNodes > g.nodes ||
+			reg.BS == 0 || reg.BS&(reg.BS-1) != 0 {
+			return fmt.Errorf("gasmem: corrupt region descriptor %d", i)
+		}
+		reg.physBase = make([]uint64, reg.NRNodes)
+		for j := range reg.physBase {
+			reg.physBase[j] = sr.u64()
+		}
+		reg.bsShift = uint(bits.TrailingZeros64(reg.BS))
+		reg.nodeMask = uint64(reg.NRNodes - 1)
+		regions = append(regions, reg)
+	}
+	store := make([][]uint64, g.nodes)
+	for i := range store {
+		n := sr.u64()
+		if sr.err != nil {
+			break
+		}
+		if n*WordBytes > capacity+WordBytes {
+			return fmt.Errorf("gasmem: node %d store of %d words exceeds capacity", i, n)
+		}
+		st := make([]uint64, n)
+		for j := range st {
+			st[j] = sr.u64()
+		}
+		store[i] = st
+	}
+	if sr.err != nil {
+		return fmt.Errorf("gasmem: truncated snapshot: %w", sr.err)
+	}
+	g.nextVA = nextVA
+	g.used = used
+	g.regions = regions
+	g.store = store
+	return nil
+}

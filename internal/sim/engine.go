@@ -93,6 +93,15 @@ type Options struct {
 	// stalled, node bandwidth degraded, and nodes fail-stopped. Nil
 	// disables injection at one nil-check per send/delivery.
 	Fault *fault.Plan
+	// FixedLookahead selects the legacy conservative window engine: one
+	// global window of MinCrossNodeLatency cycles per barrier, identical
+	// to the PR-1 execution schedule. The default (false) enables the
+	// adaptive topology-aware scheduler: per-shard horizons from the
+	// shard-pair latency-bound matrix, lock-free window extension while
+	// traffic stays intra-shard, and a cooperative single-goroutine
+	// multiplexer when the host has one CPU. Both modes produce
+	// bit-identical results; the flag exists for A/B measurement.
+	FixedLookahead bool
 }
 
 // Stats aggregates measurements across a Run.
@@ -192,6 +201,19 @@ type Engine struct {
 	lookahead arch.Cycles
 	maxTime   arch.Cycles
 	factory   func(id arch.NetworkID) Actor
+	// adaptive enables topology-aware per-shard horizons and the
+	// lock-free window-extension protocol (see lookahead.go / pool.go /
+	// mux.go). laMat[a][b] is the lower bound on the delivery time of any
+	// message a shard-a actor can send to a shard-b actor; laRow[a] is
+	// min over b != a of laMat[a][b]. Both are derived from the node
+	// partition at construction and never change.
+	adaptive bool
+	laMat    [][]arch.Cycles
+	laRow    []arch.Cycles
+	// host selects the parallel driver for adaptive multi-shard runs:
+	// hostAuto picks the cooperative multiplexer when the process has one
+	// CPU and the worker pool otherwise; tests pin a mode to cover both.
+	host hostMode
 	// nodeShard maps a node to the shard that owns it, precomputed so
 	// the per-send shard lookup is a table read instead of a
 	// multiply/divide.
@@ -242,8 +264,16 @@ type shard struct {
 	// outMin is the earliest Deliver among messages this shard wrote to
 	// its outboxes in the last processed window and that consumers have
 	// not collected yet; it feeds the cooperative window-start
-	// reduction at the barrier.
+	// reduction at the barrier. outTo breaks the same minimum down by
+	// destination shard so the reduction can compute per-shard horizons;
+	// both follow the same publish/collect/reset lifecycle.
 	outMin arch.Cycles
+	outTo  []arch.Cycles
+	// staged counts this shard's uncollected outbox messages. route
+	// increments it (owner-only write); only the single-goroutine
+	// multiplexer decrements it on collection, where the count gates the
+	// O(shards^2) outbox scan per round. The pool ignores it.
+	staged int
 	stats  Stats
 	// rec is this shard's metrics view, nil when recording is disabled.
 	// Each shard writes only the nodes it owns, so views need no locks.
@@ -284,6 +314,7 @@ func NewEngine(m arch.Machine, opts Options) (*Engine, error) {
 		injBusy64: make([]int64, m.Nodes),
 		nshards:   n,
 		lookahead: m.MinCrossNodeLatency(),
+		adaptive:  !opts.FixedLookahead,
 		maxTime:   maxTime,
 		factory:   opts.LaneFactory,
 		nodeShard: make([]int32, m.Nodes),
@@ -329,8 +360,13 @@ func NewEngine(m arch.Machine, opts Options) (*Engine, error) {
 					s.outbox[p][j] = make([]Message, 0, 16)
 				}
 			}
+			s.outTo = make([]arch.Cycles, n)
+			s.resetOut()
 		}
 		e.shards[i] = s
+	}
+	if n > 1 {
+		e.laMat, e.laRow = shardLatencyBounds(m, e.nodeShard, n)
 	}
 	// The host "TOP core" is an auxiliary actor used as the source of
 	// initial messages; it never receives any.
@@ -418,9 +454,12 @@ func (e *Engine) Run() (Stats, error) {
 	}
 	e.running = true
 	var timedOut bool
-	if e.nshards == 1 {
+	switch {
+	case e.nshards == 1:
 		timedOut = e.runSequential()
-	} else {
+	case e.useMux():
+		timedOut = e.runMux()
+	default:
 		timedOut = e.runParallel()
 	}
 	e.running = false
@@ -468,6 +507,38 @@ func (e *Engine) Run() (Stats, error) {
 	return total, nil
 }
 
+// RunUntil simulates until quiescence or until the next pending message
+// lies beyond cycle t, whichever comes first. Pausing at t is not an
+// error: the engine stops at a window boundary with every in-flight
+// message back in the shard heaps, which is exactly the state Checkpoint
+// serializes — so RunUntil + Checkpoint + (later) Restore + Run is
+// bit-equal to one uninterrupted Run. A timeout is still reported when t
+// meets or exceeds the configured MaxTime bound.
+func (e *Engine) RunUntil(t arch.Cycles) (Stats, error) {
+	limit := e.maxTime
+	if t >= limit {
+		return e.Run()
+	}
+	e.maxTime = t
+	stats, err := e.Run()
+	e.maxTime = limit
+	if err != nil && errors.Is(err, ErrTimeout) {
+		err = nil
+	}
+	return stats, err
+}
+
+// Pending returns the number of messages queued in the engine, including
+// messages parked behind busy actors: the work a further Run would
+// process. Valid between runs.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, s := range e.shards {
+		n += s.heap.live()
+	}
+	return n
+}
+
 // runSequential drives the single shard without windows or barriers: one
 // pass processes everything up to MaxTime. It reports whether simulated
 // time exceeded MaxTime.
@@ -477,7 +548,7 @@ func (e *Engine) runSequential() bool {
 		if s.heap.topDeliver() > e.maxTime {
 			return true
 		}
-		s.processWindow(e.maxTime + 1)
+		s.processWindow(e.maxTime+1, false)
 		s.heap.compact()
 	}
 	return false
@@ -485,11 +556,26 @@ func (e *Engine) runSequential() bool {
 
 // processWindow executes all messages with effective start time below the
 // horizon, in deterministic order.
-func (s *shard) processWindow(horizon arch.Cycles) {
+//
+// abortOnStage ends the slice right after the first event that stages a
+// cross-shard message. The adaptive scheduler requires it: its horizons
+// are lower bounds on what peers could still send given their *current*
+// state, so they remain valid only while this shard's outbound frontier
+// stays closed. A cross-shard send opens it — the recipient may respond
+// (or forward) as early as the send's event time plus a round trip,
+// which a widened horizon might already have passed. Stopping at the
+// send keeps the processed frontier at or below the event time, and the
+// next horizon computation folds the staged message in. The fixed
+// engine's global window never exceeds one latency bound, so it passes
+// false and processes the whole window as before.
+func (s *shard) processWindow(horizon arch.Cycles, abortOnStage bool) {
 	e := s.e
 	env := Env{e: e, shard: s}
 	h := &s.heap
 	for h.len() > 0 && h.topDeliver() < horizon {
+		if abortOnStage && s.outMin != math.MaxInt64 {
+			break
+		}
 		mi := h.popIdx()
 		pm := &h.arena[mi]
 		st := &e.state[pm.Dst]
@@ -546,60 +632,87 @@ func (s *shard) processWindow(horizon arch.Cycles) {
 			}
 			continue
 		}
-		// Copy out before executing: sends during OnMessage may grow
-		// (and reallocate) the arena backing pm.
-		m := *pm
-		h.release(mi)
-		a := e.Actor(m.Dst)
-		if a == nil {
-			panic(fmt.Sprintf("sim: message %d->%d kind %d for unregistered actor", m.Src, m.Dst, m.Kind))
-		}
-		env.self = m.Dst
-		env.start = m.Deliver
-		env.charged = 0
-		if s.trace != nil {
-			// The executing message is the parent of every send made
-			// during OnMessage.
-			env.psrc, env.pseq = m.Src, m.Seq
-		}
-		a.OnMessage(&env, &m)
-		st.freeAt = m.Deliver + env.charged
-		st.busy += int64(env.charged)
-		st.used = true
-		s.stats.Events++
-		s.stats.BusyCycles += int64(env.charged)
-		if st.freeAt > s.stats.FinalTime {
-			s.stats.FinalTime = st.freeAt
-		}
-		switch m.Kind {
-		case arch.KindDRAMRead:
-			s.stats.DRAMReads++
-		case arch.KindDRAMWrite, arch.KindDRAMFetchAdd, arch.KindDRAMFetchAddF:
-			// Fetch-adds (both integer and float) are read-modify-writes;
-			// they count as writes, so PageRank's float accumulation path
-			// is visible in Stats.DRAMWrites.
-			s.stats.DRAMWrites++
-		}
-		if s.rec != nil {
-			s.rec.Event(e.nodeOfID[m.Dst], m.Kind, m.Deliver, env.charged, st.waitqLen())
-		}
-		if s.trace != nil {
-			// m.Deliver is the actual start: the retry mechanism above
-			// bumped it to the actor's free time if it had to wait.
-			s.trace.Exec(metrics.ExecRec{Src: m.Src, Seq: m.Seq, Kind: m.Kind,
-				Start: m.Deliver, Charged: env.charged})
-		}
-		if st.waitqLen() > 0 {
-			// Release the next parked message at the actor's new
-			// free time.
-			ni := st.waitqPop()
+		for {
+			// Copy out before executing: sends during OnMessage may grow
+			// (and reallocate) the arena backing pm.
+			m := *pm
+			h.release(mi)
+			a := e.Actor(m.Dst)
+			if a == nil {
+				panic(fmt.Sprintf("sim: message %d->%d kind %d for unregistered actor", m.Src, m.Dst, m.Kind))
+			}
+			env.self = m.Dst
+			env.start = m.Deliver
+			env.charged = 0
+			if s.trace != nil {
+				// The executing message is the parent of every send made
+				// during OnMessage.
+				env.psrc, env.pseq = m.Src, m.Seq
+			}
+			a.OnMessage(&env, &m)
+			st.freeAt = m.Deliver + env.charged
+			st.busy += int64(env.charged)
+			st.used = true
+			s.stats.Events++
+			s.stats.BusyCycles += int64(env.charged)
+			if st.freeAt > s.stats.FinalTime {
+				s.stats.FinalTime = st.freeAt
+			}
+			switch m.Kind {
+			case arch.KindDRAMRead:
+				s.stats.DRAMReads++
+			case arch.KindDRAMWrite, arch.KindDRAMFetchAdd, arch.KindDRAMFetchAddF:
+				// Fetch-adds (both integer and float) are read-modify-writes;
+				// they count as writes, so PageRank's float accumulation path
+				// is visible in Stats.DRAMWrites.
+				s.stats.DRAMWrites++
+			}
+			if s.rec != nil {
+				s.rec.Event(e.nodeOfID[m.Dst], m.Kind, m.Deliver, env.charged, st.waitqLen())
+			}
+			if s.trace != nil {
+				// m.Deliver is the actual start: the retry mechanism above
+				// bumped it to the actor's free time if it had to wait.
+				s.trace.Exec(metrics.ExecRec{Src: m.Src, Seq: m.Seq, Kind: m.Kind,
+					Start: m.Deliver, Charged: env.charged})
+			}
+			if st.waitqLen() == 0 {
+				break
+			}
+			ni := st.waitq[st.waitqHead]
 			nm := &h.arena[ni]
+			d := nm.Deliver
+			if d < st.freeAt {
+				d = st.freeAt
+			}
+			// Batched dispatch: the released message would re-enter the
+			// heap as the floating retry and come straight back out if no
+			// queued entry precedes it. When its effective start lies
+			// inside the window and its bumped key (d, Src, Seq) beats the
+			// heap top, execute it back-to-back instead — same total
+			// order, no sift traffic. Fault plans take the classic path so
+			// dead-letter and stall handling replay identically, and a
+			// staged cross-shard send ends the batch like it ends the
+			// window.
+			if e.fault == nil && d < horizon &&
+				!(abortOnStage && s.outMin != math.MaxInt64) &&
+				h.beats(d, nm.Src, nm.Seq) {
+				st.waitqPop()
+				nm.Deliver = d
+				mi = ni
+				pm = nm
+				continue
+			}
+			// Classic release: the next parked message becomes the
+			// actor's floating retry at its new free time.
+			st.waitqPop()
 			if nm.Deliver < st.freeAt {
 				nm.Deliver = st.freeAt
 			}
 			nm.retry = true
 			st.floating++
 			h.pushIdx(ni)
+			break
 		}
 	}
 }
@@ -795,6 +908,19 @@ func (s *shard) route(m *Message, dstShard int) {
 		if m.Deliver < s.outMin {
 			s.outMin = m.Deliver
 		}
+		if m.Deliver < s.outTo[dstShard] {
+			s.outTo[dstShard] = m.Deliver
+		}
+		s.staged++
+	}
+}
+
+// resetOut clears the staged-message minima after the shard's uncollected
+// outbox messages have been handed to their consumers.
+func (s *shard) resetOut() {
+	s.outMin = math.MaxInt64
+	for i := range s.outTo {
+		s.outTo[i] = math.MaxInt64
 	}
 }
 

@@ -15,10 +15,15 @@ package sim
 //     production and collection.
 //
 // BENCH_sim.json records these numbers before and after engine changes.
+// Since the adaptive-lookahead entry, the timed region is the Run call
+// only: engine construction (32K actor-state slots on the SparseLane
+// machine) was diluting the measured run-phase differences.
 
 import (
 	"fmt"
+	"os"
 	"testing"
+	"time"
 
 	"updown/internal/arch"
 )
@@ -35,8 +40,8 @@ func benchShards(nodes int) []int {
 	return out
 }
 
-func reportMevS(b *testing.B, events int64) {
-	b.ReportMetric(float64(events)/b.Elapsed().Seconds()/1e6, "Mev/s")
+func reportMevS(b *testing.B, events int64, elapsed time.Duration) {
+	b.ReportMetric(float64(events)/elapsed.Seconds()/1e6, "Mev/s")
 	b.ReportMetric(0, "ns/op") // the per-op time is meaningless here
 }
 
@@ -48,6 +53,7 @@ func BenchmarkEnginePingPong(b *testing.B) {
 	for _, shards := range benchShards(2) {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
 			var events int64
+			var elapsed time.Duration
 			for i := 0; i < b.N; i++ {
 				m := arch.DefaultMachine(2)
 				e, err := NewEngine(m, Options{Shards: shards})
@@ -58,13 +64,15 @@ func BenchmarkEnginePingPong(b *testing.B) {
 				e.SetActor(l0, &pingPong{peer: l1, limit: hops})
 				e.SetActor(l1, &pingPong{peer: l0, limit: hops})
 				e.Post(0, l0, arch.KindEvent, 0, 0, 0)
+				start := time.Now()
 				stats, err := e.Run()
+				elapsed += time.Since(start)
 				if err != nil {
 					b.Fatal(err)
 				}
 				events += stats.Events
 			}
-			reportMevS(b, events)
+			reportMevS(b, events, elapsed)
 		})
 	}
 }
@@ -95,6 +103,7 @@ func BenchmarkEngineAllToAllHotSpot(b *testing.B) {
 	for _, shards := range benchShards(nodes) {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
 			var events int64
+			var elapsed time.Duration
 			for i := 0; i < b.N; i++ {
 				m := arch.DefaultMachine(nodes)
 				e, err := NewEngine(m, Options{Shards: shards})
@@ -117,13 +126,15 @@ func BenchmarkEngineAllToAllHotSpot(b *testing.B) {
 						}
 					}
 				}
+				start := time.Now()
 				stats, err := e.Run()
+				elapsed += time.Since(start)
 				if err != nil {
 					b.Fatal(err)
 				}
 				events += stats.Events
 			}
-			reportMevS(b, events)
+			reportMevS(b, events, elapsed)
 		})
 	}
 }
@@ -145,32 +156,92 @@ func (c *chainActor) OnMessage(env *Env, m *Message) {
 // with inter-event gaps wider than the lookahead window: almost every
 // shard is idle in every window, and the engine must jump empty gaps.
 func BenchmarkEngineSparseLane(b *testing.B) {
+	for _, shards := range benchShards(16) {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			var events int64
+			var elapsed time.Duration
+			for i := 0; i < b.N; i++ {
+				n, d := sparseLaneRun(b, shards, false)
+				events += n
+				elapsed += d
+			}
+			reportMevS(b, events, elapsed)
+		})
+	}
+}
+
+// sparseLaneRun executes the SparseLane workload once and returns the
+// wall-clock time it took; shared by the fixed-lookahead benchmark
+// variant and the adaptive-speedup smoke test.
+func sparseLaneRun(tb testing.TB, shards int, fixed bool) (int64, time.Duration) {
 	const (
 		nodes  = 16
 		rounds = 5000
 	)
-	for _, shards := range benchShards(nodes) {
+	m := arch.DefaultMachine(nodes)
+	e, err := NewEngine(m, Options{Shards: shards, FixedLookahead: fixed})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for _, node := range []int{0, nodes - 1} {
+		id := m.LaneID(node, 0, 0)
+		e.SetActor(id, &chainActor{gap: 2500, rounds: rounds})
+		e.Post(0, id, arch.KindEvent, 0, 0, 0)
+	}
+	start := time.Now()
+	stats, err := e.Run()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return stats.Events, time.Since(start)
+}
+
+// BenchmarkEngineSparseLaneFixed is the A/B twin of
+// BenchmarkEngineSparseLane with the legacy fixed lookahead, so the
+// adaptive scheduler's effect on the lookahead-bound workload can be
+// measured from the bench grid alone.
+func BenchmarkEngineSparseLaneFixed(b *testing.B) {
+	for _, shards := range benchShards(16) {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
 			var events int64
+			var elapsed time.Duration
 			for i := 0; i < b.N; i++ {
-				m := arch.DefaultMachine(nodes)
-				e, err := NewEngine(m, Options{Shards: shards})
-				if err != nil {
-					b.Fatal(err)
-				}
-				for _, node := range []int{0, nodes - 1} {
-					id := m.LaneID(node, 0, 0)
-					e.SetActor(id, &chainActor{gap: 2500, rounds: rounds})
-					e.Post(0, id, arch.KindEvent, 0, 0, 0)
-				}
-				stats, err := e.Run()
-				if err != nil {
-					b.Fatal(err)
-				}
-				events += stats.Events
+				n, d := sparseLaneRun(b, shards, true)
+				events += n
+				elapsed += d
 			}
-			reportMevS(b, events)
+			reportMevS(b, events, elapsed)
 		})
+	}
+}
+
+// TestAdaptiveLookaheadSpeedup is the CI bench smoke (satellite of the
+// adaptive-lookahead change): on the lookahead-bound SparseLane workload
+// the adaptive scheduler must not be slower than the fixed window it
+// replaced. Gated behind UPDOWN_BENCH_SMOKE because it measures
+// wall-clock time, which is meaningless under -race or a loaded host.
+func TestAdaptiveLookaheadSpeedup(t *testing.T) {
+	if os.Getenv("UPDOWN_BENCH_SMOKE") == "" {
+		t.Skip("set UPDOWN_BENCH_SMOKE=1 to run the wall-clock bench smoke")
+	}
+	const shards = 4
+	best := func(fixed bool) time.Duration {
+		b := time.Duration(1<<63 - 1)
+		for i := 0; i < 3; i++ {
+			if _, d := sparseLaneRun(t, shards, fixed); d < b {
+				b = d
+			}
+		}
+		return b
+	}
+	// Warm up both paths once, then take best-of-3 each.
+	sparseLaneRun(t, shards, false)
+	sparseLaneRun(t, shards, true)
+	adaptive, fixed := best(false), best(true)
+	t.Logf("SparseLane shards=%d: adaptive %v, fixed %v (%.2fx)",
+		shards, adaptive, fixed, float64(fixed)/float64(adaptive))
+	if adaptive > fixed {
+		t.Errorf("adaptive lookahead slower than fixed on SparseLane: %v > %v", adaptive, fixed)
 	}
 }
 
@@ -201,6 +272,7 @@ func BenchmarkEngineCrossNodeStorm(b *testing.B) {
 	for _, shards := range benchShards(nodes) {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
 			var events int64
+			var elapsed time.Duration
 			for i := 0; i < b.N; i++ {
 				m := arch.DefaultMachine(nodes)
 				e, err := NewEngine(m, Options{Shards: shards})
@@ -214,13 +286,15 @@ func BenchmarkEngineCrossNodeStorm(b *testing.B) {
 						e.Post(arch.Cycles(int(id)%13), id, arch.KindEvent, 0, 0, hops)
 					}
 				}
+				start := time.Now()
 				stats, err := e.Run()
+				elapsed += time.Since(start)
 				if err != nil {
 					b.Fatal(err)
 				}
 				events += stats.Events
 			}
-			reportMevS(b, events)
+			reportMevS(b, events, elapsed)
 		})
 	}
 }

@@ -169,6 +169,25 @@ func (h *msgHeap) siftUp(i int) {
 	}
 }
 
+// beats reports whether the key (d, src, seq) precedes the heap's current
+// minimum in the deterministic total order (trivially true on an empty
+// heap). The batched-dispatch fast path uses it to prove that a parked
+// message released at its actor's free time would come straight back off
+// the heap, so the round-trip can be skipped.
+func (h *msgHeap) beats(d arch.Cycles, src arch.NetworkID, seq uint64) bool {
+	if len(h.idx) == 0 {
+		return true
+	}
+	t := h.idx[0]
+	if d != t.d {
+		return d < t.d
+	}
+	if int32(src) != t.src {
+		return int32(src) < t.src
+	}
+	return seq < h.arena[t.i].Seq
+}
+
 // top returns the minimum message without removing it. It must not be
 // called on an empty heap. The pointer is invalidated by push/pop.
 func (h *msgHeap) top() *Message { return &h.arena[h.idx[0].i] }

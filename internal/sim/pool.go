@@ -8,7 +8,7 @@
 // per shard for the whole Run and synchronizes them with a reusable
 // sense-reversing barrier, one barrier cycle per window:
 //
-//	publish local min ─ barrier (reduce → window start) ─ collect ─ process
+//	publish local min ─ barrier (reduce → horizons) ─ collect ─ process
 //
 // The process and collect phases fuse into a single barrier cycle
 // because outboxes are double-buffered by window parity: the buffer a
@@ -17,14 +17,24 @@
 // consumer has passed the w+2 barrier — by which point the consumer has
 // finished draining it. The barrier itself is the only synchronization.
 //
-// The window start is computed cooperatively: each worker publishes the
-// earliest pending message it knows about (its heap top, plus the
-// earliest uncollected message it produced into its outboxes), and the
-// last barrier arriver reduces those to the global minimum. Empty gaps
-// between events are therefore jumped in one step, and a shard whose
-// heap top lies beyond the horizon skips the window entirely — it
-// neither scans its heap nor touches its actors, it just re-arrives at
-// the barrier.
+// The reduction computes each shard's horizon from what its peers could
+// still send it (see lookahead.go): next[A] is the earliest message
+// shard A could still execute — its heap top plus staged outbox
+// messages bound for it — and horizon[B] is the min over A != B of
+// next[A] + laMat[A][B]. With a fixed lookahead every horizon collapses
+// to windowStart + MinCrossNodeLatency, the legacy schedule.
+//
+// Between barriers the adaptive mode adds a lock-free extension phase:
+// after draining its window, a shard that staged no cross-shard traffic
+// publishes the earliest cycle anything it does next could become
+// visible elsewhere (heap top + laRow, monotone non-decreasing until
+// the next barrier) and keeps processing up to the minimum of its
+// peers' published frontiers. The instant any shard stages a
+// cross-shard message it requests a barrier and stops extending, so
+// staged messages are always delivered through the parity-buffered
+// collect path. Chained same-shard workloads thus advance without any
+// barrier at all, while cross-shard traffic falls back to the proven
+// window protocol.
 package sim
 
 import (
@@ -79,11 +89,33 @@ type paddedCycles struct {
 	_ [56]byte
 }
 
+// paddedAtomic keeps the extension-phase frontier atomics on separate
+// cache lines; each is written by its owning shard and read by peers.
+type paddedAtomic struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
 // pool is the per-Run coordination state of the persistent workers.
 type pool struct {
 	e    *Engine
 	bar  *barrier
 	mins []paddedCycles
+	// next and horizon are reduction scratch/output: next[A] is the
+	// earliest message shard A could still execute, horizon[B] the
+	// causality-safe processing bound for shard B this window. Written
+	// by the last barrier arriver, read by everyone after release.
+	next    []arch.Cycles
+	horizon []arch.Cycles
+	// pubs[A] is shard A's published extension frontier: no message from
+	// A can be delivered anywhere before it. Initialized by the
+	// reduction, re-published (monotone non-decreasing) by A while it
+	// extends, stale-but-valid once A stops.
+	pubs []paddedAtomic
+	// barrierReq is set by the first shard that stages a cross-shard
+	// message during the extension phase; every extender polls it and
+	// returns to the barrier, where the reduction clears it.
+	barrierReq atomic.Bool
 	// windowStart is the earliest pending message time across all
 	// shards, written by the last barrier arriver each cycle;
 	// math.MaxInt64 means the simulation is quiescent.
@@ -94,9 +126,17 @@ type pool struct {
 // runParallel executes Run with nshards persistent workers. It reports
 // whether simulated time exceeded MaxTime.
 func (e *Engine) runParallel() bool {
-	p := &pool{e: e, bar: newBarrier(e.nshards), mins: make([]paddedCycles, e.nshards)}
+	n := e.nshards
+	p := &pool{
+		e:       e,
+		bar:     newBarrier(n),
+		mins:    make([]paddedCycles, n),
+		next:    make([]arch.Cycles, n),
+		horizon: make([]arch.Cycles, n),
+		pubs:    make([]paddedAtomic, n),
+	}
 	var wg sync.WaitGroup
-	wg.Add(e.nshards)
+	wg.Add(n)
 	for _, s := range e.shards {
 		go func(s *shard) {
 			defer wg.Done()
@@ -107,49 +147,96 @@ func (e *Engine) runParallel() bool {
 	return p.timedOut
 }
 
+// reduce runs on the last barrier arriver: it folds the published heap
+// tops and the staged outbox minima into next[], derives the global
+// window start and the per-shard horizons, and re-arms the extension
+// frontiers for the coming inter-barrier span.
+func (p *pool) reduce() {
+	e := p.e
+	next := p.next
+	for i := range next {
+		next[i] = p.mins[i].v
+	}
+	for _, s := range e.shards {
+		for d, v := range s.outTo {
+			if v < next[d] {
+				next[d] = v
+			}
+		}
+	}
+	min := arch.Cycles(math.MaxInt64)
+	for _, v := range next {
+		if v < min {
+			min = v
+		}
+	}
+	p.windowStart = min
+	if min == math.MaxInt64 {
+		return
+	}
+	if min > e.maxTime {
+		p.timedOut = true
+		return
+	}
+	if !e.adaptive {
+		h := min + e.lookahead
+		for i := range p.horizon {
+			p.horizon[i] = h
+		}
+		return
+	}
+	for b := range p.horizon {
+		h := arch.Cycles(math.MaxInt64)
+		for a := range next {
+			if a == b {
+				continue
+			}
+			if v := satAdd(next[a], e.laMat[a][b]); v < h {
+				h = v
+			}
+		}
+		p.horizon[b] = h
+	}
+	for a := range next {
+		p.pubs[a].v.Store(int64(satAdd(next[a], e.laRow[a])))
+	}
+	p.barrierReq.Store(false)
+}
+
 // worker is the per-shard loop; see the package comment for the window
 // protocol and the outbox double-buffering argument.
 func (p *pool) worker(s *shard) {
 	e := p.e
+	maxH := satAdd(e.maxTime, 1)
 	sense := uint32(0)
 	parity := 0
 	for {
-		// Publish the earliest pending work this shard knows about:
-		// its heap top plus the earliest message it produced last
-		// window that its consumers have not collected yet.
+		// Publish this shard's heap top; the reduction folds in the
+		// staged outbox minima (outTo) directly, since every producer
+		// is quiesced at the barrier.
 		lm := arch.Cycles(math.MaxInt64)
 		if s.heap.len() > 0 {
 			lm = s.heap.topDeliver()
 		}
-		if s.outMin < lm {
-			lm = s.outMin
-		}
 		p.mins[s.idx].v = lm
 		sense ^= 1
-		p.bar.await(sense, func() {
-			min := arch.Cycles(math.MaxInt64)
-			for i := range p.mins {
-				if p.mins[i].v < min {
-					min = p.mins[i].v
-				}
-			}
-			p.windowStart = min
-			if min != math.MaxInt64 && min > e.maxTime {
-				p.timedOut = true
-			}
-		})
-		t := p.windowStart
-		if t == math.MaxInt64 || t > e.maxTime {
+		p.bar.await(sense, p.reduce)
+		if p.windowStart == math.MaxInt64 || p.timedOut {
 			break
 		}
 		// Collect what the previous window produced for us, then reuse
 		// that buffer side for this window's outbound messages.
 		s.collect(parity ^ 1)
-		s.outMin = math.MaxInt64
+		s.resetOut()
 		s.parity = parity
-		if s.heap.len() > 0 && s.heap.topDeliver() < t+e.lookahead {
-			s.processWindow(t + e.lookahead)
-			s.heap.compact()
+		if !e.adaptive {
+			h := p.horizon[s.idx]
+			if s.heap.len() > 0 && s.heap.topDeliver() < h {
+				s.processWindow(h, false)
+				s.heap.compact()
+			}
+		} else {
+			p.extend(s, p.horizon[s.idx], maxH)
 		}
 		parity ^= 1
 	}
@@ -158,4 +245,66 @@ func (p *pool) worker(s *shard) {
 	// Every producer is past the final barrier, so the reads are ordered.
 	s.collect(0)
 	s.collect(1)
+}
+
+// extend processes the shard's window and then keeps widening it without
+// barriers while that is provably safe: as long as no shard has staged a
+// cross-shard message, every peer's published frontier bounds the
+// earliest delivery it could still cause here, so the shard may process
+// up to the minimum of those frontiers. Returns to the barrier when the
+// shard stages cross-shard traffic itself (after requesting a barrier),
+// when a peer requests one, or when nothing below MaxTime remains.
+func (p *pool) extend(s *shard, horizon, maxH arch.Cycles) {
+	e := p.e
+	if horizon > maxH {
+		horizon = maxH
+	}
+	lastPub := int64(math.MinInt64)
+	for {
+		if s.heap.len() > 0 && s.heap.topDeliver() < horizon {
+			s.processWindow(horizon, true)
+			s.heap.compact()
+		}
+		if s.outMin != math.MaxInt64 {
+			// Cross-shard traffic staged: its delivery needs the
+			// parity-buffered collect, so hand control back to the
+			// window protocol. The pre-barrier frontier stays valid:
+			// everything staged this span delivers at or after it.
+			p.barrierReq.Store(true)
+			return
+		}
+		top := arch.Cycles(math.MaxInt64)
+		if s.heap.len() > 0 {
+			top = s.heap.topDeliver()
+		}
+		// Publish how soon anything this shard does next could become
+		// visible to a peer. Monotone between barriers: top never
+		// decreases while no cross-shard message is collected.
+		if pub := int64(satAdd(top, e.laRow[s.idx])); pub != lastPub {
+			p.pubs[s.idx].v.Store(pub)
+			lastPub = pub
+		}
+		if top >= maxH || p.barrierReq.Load() {
+			return
+		}
+		ext := arch.Cycles(math.MaxInt64)
+		for i := range p.pubs {
+			if i == s.idx {
+				continue
+			}
+			if v := arch.Cycles(p.pubs[i].v.Load()); v < ext {
+				ext = v
+			}
+		}
+		if ext > maxH {
+			ext = maxH
+		}
+		if ext > horizon && top < ext {
+			horizon = ext
+			continue
+		}
+		// A peer's frontier caps us below our next event; wait for it
+		// to advance (or to request a barrier).
+		runtime.Gosched()
+	}
 }

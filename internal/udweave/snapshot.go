@@ -1,0 +1,142 @@
+package udweave
+
+// Checkpoint support. A lane's mutable state is its thread contexts and
+// lane-local storage; the values inside them are application-defined, so
+// they are serialized with encoding/gob. Applications whose thread
+// states or lane-local values are reached through interfaces must
+// register the concrete types with gob.Register. Values that cannot be
+// gob-encoded — closures in particular — make Snapshot fail with a
+// descriptive error rather than silently dropping state, so programs
+// that keep functions in lane-local storage (e.g. slot initializers
+// captured in running KVMSR jobs) are not checkpointable mid-job.
+
+import (
+	"fmt"
+	"sort"
+
+	"updown/internal/sim"
+)
+
+const laneSnapVersion = 1
+
+// NumHandlers returns the number of registered event labels (including
+// the reserved ones). Machine-level checkpoints record it as a cheap
+// guard that the restoring process registered the same program.
+func (p *Program) NumHandlers() int { return len(p.handlers) }
+
+// NumSlots returns the number of lane-local slots allocated with
+// AllocSlot, recorded in machine-level checkpoints alongside the handler
+// count.
+func (p *Program) NumSlots() int { return p.numSlots }
+
+// Snapshot implements sim.Snapshotter for a lane.
+func (l *Lane) Snapshot(w *sim.SnapWriter) error {
+	w.U8(laneSnapVersion)
+	w.U64(l.timerGen)
+	w.U64(uint64(len(l.threads)))
+	for tid, th := range l.threads {
+		if th == nil {
+			w.U8(0)
+			continue
+		}
+		w.U8(1)
+		w.U64(th.timeoutGen)
+		w.U64(uint64(th.timeoutLabel))
+		if err := w.Gob(th.State); err != nil {
+			return fmt.Errorf("lane %d thread %d state: %w (thread state must be gob-encodable; register concrete types with gob.Register)",
+				l.id, tid, err)
+		}
+	}
+	w.U64(uint64(len(l.freeTIDs)))
+	for _, t := range l.freeTIDs {
+		w.U64(uint64(t))
+	}
+	keys := make([]string, 0, len(l.local))
+	for k := range l.local {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	w.U64(uint64(len(keys)))
+	for _, k := range keys {
+		w.String(k)
+		if err := w.Gob(l.local[k]); err != nil {
+			return fmt.Errorf("lane %d local %q: %w", l.id, k, err)
+		}
+	}
+	w.U64(uint64(len(l.slots)))
+	for i, v := range l.slots {
+		if err := w.Gob(v); err != nil {
+			return fmt.Errorf("lane %d slot %d: %w", l.id, i, err)
+		}
+	}
+	return w.Err()
+}
+
+// RestoreSnapshot implements sim.Snapshotter for a lane. The recycled
+// thread pool is not part of the snapshot: pooling is an allocation
+// optimization with no observable effect, so the restored lane simply
+// starts with an empty pool.
+func (l *Lane) RestoreSnapshot(r *sim.SnapReader) error {
+	if v := r.U8(); r.Err() == nil && v != laneSnapVersion {
+		return fmt.Errorf("lane %d: snapshot version %d, this build reads %d", l.id, v, laneSnapVersion)
+	}
+	l.timerGen = r.U64()
+	nthreads := r.U64()
+	if r.Err() == nil && nthreads > uint64(NewThreadTID) {
+		return fmt.Errorf("lane %d: implausible thread count %d", l.id, nthreads)
+	}
+	l.threads = l.threads[:0]
+	l.pool = nil
+	l.live = 0
+	for tid := uint64(0); tid < nthreads && r.Err() == nil; tid++ {
+		if r.U8() == 0 {
+			l.threads = append(l.threads, nil)
+			continue
+		}
+		th := &Thread{TID: uint16(tid)}
+		th.timeoutGen = r.U64()
+		th.timeoutLabel = Label(r.U64())
+		state, err := r.Gob()
+		if err != nil {
+			return fmt.Errorf("lane %d thread %d state: %w (register concrete state types with gob.Register)",
+				l.id, tid, err)
+		}
+		th.State = state
+		l.threads = append(l.threads, th)
+		l.live++
+	}
+	nfree := r.U64()
+	if r.Err() == nil && nfree > uint64(NewThreadTID) {
+		return fmt.Errorf("lane %d: implausible free-TID count %d", l.id, nfree)
+	}
+	l.freeTIDs = l.freeTIDs[:0]
+	for i := uint64(0); i < nfree && r.Err() == nil; i++ {
+		l.freeTIDs = append(l.freeTIDs, uint16(r.U64()))
+	}
+	nlocal := r.U64()
+	l.local = nil
+	if r.Err() == nil && nlocal > 0 {
+		l.local = make(map[string]any, nlocal)
+		for i := uint64(0); i < nlocal && r.Err() == nil; i++ {
+			k := r.String(1 << 20)
+			v, err := r.Gob()
+			if err != nil {
+				return fmt.Errorf("lane %d local %q: %w", l.id, k, err)
+			}
+			l.local[k] = v
+		}
+	}
+	nslots := r.U64()
+	if r.Err() == nil && nslots > 1<<20 {
+		return fmt.Errorf("lane %d: implausible slot count %d", l.id, nslots)
+	}
+	l.slots = l.slots[:0]
+	for i := uint64(0); i < nslots && r.Err() == nil; i++ {
+		v, err := r.Gob()
+		if err != nil {
+			return fmt.Errorf("lane %d slot %d: %w", l.id, i, err)
+		}
+		l.slots = append(l.slots, v)
+	}
+	return r.Err()
+}

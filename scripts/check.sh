@@ -23,3 +23,8 @@ go test -race ./internal/sim/ ./internal/kvmsr/ ./internal/metrics/
 # the inter-node network than the classic shuffle while emitting the
 # same number of logical tuples.
 go test -run XX -bench BenchmarkKVMSRShuffle -benchtime=5x .
+
+# Adaptive-lookahead bench smoke: on the lookahead-bound SparseLane
+# workload the adaptive scheduler must not be slower than the legacy
+# fixed window it replaced (best-of-3 wall clock each).
+UPDOWN_BENCH_SMOKE=1 go test -run TestAdaptiveLookaheadSpeedup -count=1 ./internal/sim/

@@ -105,6 +105,11 @@ type Config struct {
 	// application-chosen combiners pre-reducing same-key tuples before
 	// they reach the network. Nil keeps one message per tuple.
 	Coalesce *kvmsr.Coalesce
+	// FixedLookahead selects the legacy conservative window engine (one
+	// global window of MinCrossNodeLatency cycles per barrier) instead of
+	// the default adaptive topology-aware scheduler. Results are
+	// bit-identical either way; the flag exists for A/B measurement.
+	FixedLookahead bool
 	// Trace, when non-nil, enables the causal tracing recorder: named
 	// spans (thread lifetimes, event executions, KVMSR phases, program
 	// phases) and/or the per-message causal edge stream that feeds
@@ -160,12 +165,13 @@ func New(cfg Config) (*Machine, error) {
 		tr = metrics.NewTrace(*cfg.Trace)
 	}
 	eng, err := sim.NewEngine(a, sim.Options{
-		Shards:      cfg.Shards,
-		MaxTime:     cfg.MaxTime,
-		LaneFactory: prog.NewLane,
-		Metrics:     rec,
-		Trace:       tr,
-		Fault:       cfg.Fault,
+		Shards:         cfg.Shards,
+		MaxTime:        cfg.MaxTime,
+		LaneFactory:    prog.NewLane,
+		Metrics:        rec,
+		Trace:          tr,
+		Fault:          cfg.Fault,
+		FixedLookahead: cfg.FixedLookahead,
 	})
 	if err != nil {
 		return nil, err
