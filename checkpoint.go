@@ -19,7 +19,16 @@ import (
 	"io"
 
 	"updown/internal/sim"
+	"updown/internal/udweave"
 )
+
+// ErrNotQuiescent is returned (wrapped) by Checkpoint when a lane still
+// holds live, non-serializable runtime state — typically a KVMSR
+// invocation mid-job, whose thread and lane-local storage keep closures
+// that gob cannot encode. Detect it with errors.Is and either run the
+// machine to quiescence first or checkpoint at the warm-start boundary
+// (graph loaded, no job started).
+var ErrNotQuiescent = udweave.ErrNotQuiescent
 
 // RestoreError is the typed error the engine section of Restore returns
 // on a rejected snapshot; inspect its Kind with errors.As.
@@ -40,7 +49,7 @@ const (
 
 const (
 	mchkMagic   = "UDMCHKPT"
-	mchkVersion = uint32(1)
+	mchkVersion = uint32(2) // v2: replicated gasmem regions, DRAM hint logs, failover counters
 )
 
 // Checkpoint serializes the machine's complete simulation state to w.
@@ -48,8 +57,9 @@ const (
 // RunUntil first. Application state held in lanes (thread states,
 // lane-local values) is serialized with encoding/gob — concrete types
 // reached through interfaces must be gob.Register-ed, and values
-// containing functions are not serializable (Checkpoint fails with an
-// error naming the lane and value rather than dropping state).
+// containing functions are not serializable: a checkpoint taken mid-job
+// fails with an error naming the lane and value that satisfies
+// errors.Is(err, ErrNotQuiescent), rather than dropping state.
 func (m *Machine) Checkpoint(w io.Writer) error {
 	if _, err := io.WriteString(w, mchkMagic); err != nil {
 		return fmt.Errorf("updown: checkpoint write: %w", err)

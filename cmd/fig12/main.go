@@ -19,6 +19,7 @@ func main() {
 	bw := flag.Int("dram-bw", 100, "per-node DRAM bytes/cycle (paper hardware: 4700; the reduced default keeps the reduced-scale graph memory-bound)")
 	seed := flag.Uint64("seed", 42, "generator seed")
 	shards := flag.Int("shards", 0, "simulator host parallelism (0 = auto)")
+	reps := flag.String("reps", "", "replication factors for the replication-tax extension (e.g. 2,3; empty = off)")
 	markdown := flag.Bool("markdown", false, "emit GitHub-markdown tables")
 	critpath := flag.Bool("critpath", false, "extract the causal critical path per run and add the crit% column")
 	flag.Parse()
@@ -27,10 +28,16 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	var ks []int
+	if *reps != "" {
+		if ks, err = harness.ParseNodeList(*reps); err != nil {
+			log.Fatal(err)
+		}
+	}
 	tables, err := harness.Fig12Placement(harness.Fig12Options{
 		ComputeNodes: *compute, MemNodes: ms, Scale: *scale,
 		DRAMBytesPerCycle: *bw, Seed: *seed, Shards: *shards,
-		CritPath: *critpath,
+		CritPath: *critpath, Reps: ks,
 	})
 	if err != nil {
 		log.Fatal(err)

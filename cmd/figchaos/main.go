@@ -7,6 +7,15 @@
 //	figchaos -scale 12 -nodes 2 -drops 0.01,0.02,0.05,0.1 -dup 0.02
 //	figchaos -failstop            # add a spare node and kill it mid-run
 //	figchaos -critpath -markdown  # crit% column, GitHub-table output
+//
+// With -rep k (k >= 2) it instead runs the replicated-memory chaos
+// suite: BFS, PageRank and TC on k-way replicated global memory with a
+// data-carrying node fail-stopped mid-run, asserting correct output and
+// zero data loss, then backfilling the victim (in place, or onto the
+// spare node with -spare).
+//
+//	figchaos -rep 2               # quorum reads + hinted handoff, healed in place
+//	figchaos -rep 3 -spare        # triple replication, backfill onto the spare
 package main
 
 import (
@@ -31,9 +40,34 @@ func main() {
 	faultSeed := flag.Uint64("fault-seed", 1, "fault verdict seed")
 	shards := flag.Int("shards", 0, "simulator host parallelism (0 = auto)")
 	failstop := flag.Bool("failstop", false, "add a spare node and fail-stop it mid-run on faulted rows")
+	rep := flag.Int("rep", 0, "replication factor: run the replicated-memory chaos suite at k-way placement (>= 2)")
+	spare := flag.Bool("spare", false, "with -rep, backfill the victim's data onto the spare node instead of in place")
+	apps := flag.String("apps", "", "with -rep, comma-separated workload subset of bfs,pagerank,tc (default all)")
 	critpath := flag.Bool("critpath", false, "extract the causal critical path per row and add the crit% column")
 	markdown := flag.Bool("markdown", false, "emit a GitHub-markdown table")
 	flag.Parse()
+
+	if *rep > 1 {
+		var sel []string
+		for _, a := range strings.Split(*apps, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				sel = append(sel, a)
+			}
+		}
+		tb, err := harness.ChaosReplicated(harness.ChaosRepOptions{
+			Scale: *scale, Rep: *rep, Shards: *shards, Seed: *seed,
+			Spare: *spare, Apps: sel,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *markdown {
+			fmt.Print(tb.Markdown())
+		} else {
+			fmt.Print(tb.Format())
+		}
+		return
+	}
 
 	var rates []float64
 	for _, s := range strings.Split(*drops, ",") {

@@ -44,6 +44,15 @@
 //
 //	updown-sim -app pr -nodes 4 -scale 14 -checkpoint pr.ckpt
 //	updown-sim -app pr -nodes 4 -restore pr.ckpt     # skips generation+load
+//
+// Replication: -rep k places every DRAMmalloc on k consecutive ring
+// nodes; writes fan out to all copies and reads fall over past
+// fail-stopped nodes. -victim CYCLE fail-stops the last data node
+// mid-run (it requires -rep >= 2 and -spare, and keeps application
+// lanes off that node), so a -checksum comparison against the fault-free
+// run demonstrates zero data loss:
+//
+//	updown-sim -app bfs -nodes 4 -rep 2 -spare -victim 40000 -checksum
 package main
 
 import (
@@ -66,6 +75,7 @@ import (
 	"updown/internal/apps/tc"
 	"updown/internal/arch"
 	"updown/internal/fault"
+	"updown/internal/gasmem"
 	"updown/internal/graph"
 	"updown/internal/kvmsr"
 	"updown/internal/metrics"
@@ -99,22 +109,21 @@ func main() {
 	coalesce := flag.Bool("coalesce", false, "use the coalescing KVMSR shuffle (multi-tuple packed messages)")
 	combine := flag.Bool("combine", false, "with -coalesce: pre-reduce same-key tuples in the pack buffers (pr: float add, tc: keep-first)")
 	spare := flag.Bool("spare", false, "add one machine node beyond -nodes that carries no lanes' work and no data: a safe fail-stop target")
+	rep := flag.Int("rep", 0, "k-way replicated global-memory placement (0/1 = single copy): writes fan out to k nodes, reads fall over past fail-stops")
+	victimAt := flag.Int64("victim", 0, "fail-stop the last data node at this cycle (0 = never); requires -rep >= 2 and -spare, and keeps lanes off the victim")
 	checksum := flag.Bool("checksum", false, "print a deterministic application-result checksum")
 	ckptPath := flag.String("checkpoint", "", "write a warm-start checkpoint (loaded graph + machine state) to FILE after graph load, then run (pr|bfs|tc)")
 	restorePath := flag.String("restore", "", "restore a -checkpoint FILE instead of generating and loading the graph, then run")
 	flag.Parse()
 
-	if *ckptPath != "" && *restorePath != "" {
-		fmt.Fprintln(os.Stderr, "updown-sim: -checkpoint and -restore are mutually exclusive")
-		os.Exit(2)
+	sf := simFlags{
+		App: *app, Nodes: *nodes, Rep: *rep, Spare: *spare,
+		Coalesce: *coalesce, Combine: *combine,
+		CkptPath: *ckptPath, RestorePath: *restorePath, VictimAt: *victimAt,
 	}
-	if *ckptPath != "" || *restorePath != "" {
-		switch *app {
-		case "pr", "bfs", "tc":
-		default:
-			fmt.Fprintf(os.Stderr, "updown-sim: -checkpoint/-restore target the graph applications (pr|bfs|tc), not %q\n", *app)
-			os.Exit(2)
-		}
+	if err := sf.validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "updown-sim:", err)
+		os.Exit(2)
 	}
 
 	plan, err := fault.ParseSpec(*faultSpec)
@@ -136,11 +145,6 @@ func main() {
 	if *coalesce {
 		coal = &kvmsr.Coalesce{}
 	}
-	if *combine && !*coalesce {
-		fmt.Fprintln(os.Stderr, "updown-sim: -combine pre-reduces pack buffers: add -coalesce")
-		os.Exit(2)
-	}
-
 	fl := obsFlags{
 		Profile: *profile, TracePath: *tracePath, Spans: *spans,
 		CritPath: *critpath, Flows: *flows, Interval: *interval,
@@ -162,6 +166,18 @@ func main() {
 	if *spare {
 		appLanes = kvmsr.LaneSet{First: 0, Count: *nodes * ar.LanesPerNode()}
 	}
+	if *victimAt > 0 {
+		// The victim is the last data node: it serves replicated DRAM but
+		// hosts no application lane, so fail-stopping it mid-run loses
+		// nothing the surviving replicas cannot serve.
+		victim := *nodes - 1
+		appLanes = kvmsr.LaneSet{First: 0, Count: victim * ar.LanesPerNode()}
+		if plan == nil {
+			plan = &fault.Plan{Seed: *faultSeed}
+		}
+		plan.FailStops = append(plan.FailStops, fault.FailStop{
+			Node: victim, At: updown.Cycles(*victimAt)})
+	}
 	var mopts *metrics.Options
 	if *profile || *tracePath != "" {
 		mopts = &metrics.Options{Interval: updown.Cycles(*interval)}
@@ -170,6 +186,7 @@ func main() {
 		Arch: &ar, Shards: *shards, MaxTime: 1 << 46,
 		Metrics: mopts, Trace: fl.traceOptions(),
 		Fault: plan, Resilience: res, Coalesce: coal,
+		Replication: *rep,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -191,7 +208,7 @@ func main() {
 		var dg *graph.DeviceGraph
 		var edges uint64 // original (pre-split) directed edge count
 		if *restorePath != "" {
-			dg, edges = mustRestoreWarmStart(m, *restorePath, *app)
+			dg, edges = mustRestoreWarmStart(m, *restorePath, sf)
 		} else {
 			g := loadGraph(*gvPath, *nlPath, *preset, *scale, *seed, *app == "tc")
 			edges = g.NumEdges()
@@ -212,7 +229,7 @@ func main() {
 			}
 			dg = mustLoad(m, split, pl)
 			if *ckptPath != "" {
-				must(writeWarmStart(m, *ckptPath, *app, dg, edges))
+				must(writeWarmStart(m, *ckptPath, sf, dg, edges))
 				fmt.Printf("checkpoint written to %s\n", *ckptPath)
 			}
 		}
@@ -330,6 +347,89 @@ func main() {
 	}
 }
 
+// simFlags bundles the run-shaping flags so contradictory combinations
+// are rejected up front — before any graph is generated or machine state
+// built — with errors naming both flags involved.
+type simFlags struct {
+	App                   string
+	Nodes                 int
+	Rep                   int
+	Spare                 bool
+	Coalesce, Combine     bool
+	CkptPath, RestorePath string
+	// VictimAt is the -victim fail-stop cycle (0 = off).
+	VictimAt int64
+}
+
+func (f simFlags) validate() error {
+	if f.CkptPath != "" && f.RestorePath != "" {
+		return fmt.Errorf("-checkpoint and -restore are mutually exclusive")
+	}
+	if f.CkptPath != "" || f.RestorePath != "" {
+		switch f.App {
+		case "pr", "bfs", "tc":
+		default:
+			return fmt.Errorf("-checkpoint/-restore target the graph applications (pr|bfs|tc), not %q", f.App)
+		}
+	}
+	if f.Combine && !f.Coalesce {
+		return fmt.Errorf("-combine pre-reduces pack buffers: add -coalesce")
+	}
+	if f.Rep < 0 || f.Rep > gasmem.MaxRep {
+		return fmt.Errorf("-rep %d out of range [0,%d]", f.Rep, gasmem.MaxRep)
+	}
+	if f.Rep > f.Nodes {
+		return fmt.Errorf("-rep %d exceeds -nodes %d: not enough distinct nodes to hold the copies", f.Rep, f.Nodes)
+	}
+	if f.VictimAt < 0 {
+		return fmt.Errorf("-victim %d: the fail-stop cycle must be positive", f.VictimAt)
+	}
+	if f.VictimAt > 0 {
+		if f.Rep < 2 {
+			return fmt.Errorf("-victim fail-stops data node %d, which loses data without replication: add -rep 2 (or higher)", f.Nodes-1)
+		}
+		if !f.Spare {
+			return fmt.Errorf("-victim keeps application lanes off the victim node: add -spare so the machine has slack for them")
+		}
+		if f.Nodes < 2 {
+			return fmt.Errorf("-victim needs at least 2 data nodes, got -nodes %d", f.Nodes)
+		}
+	}
+	return nil
+}
+
+// normRep collapses the two spellings of "no replication" (0 and 1) so
+// checkpoint metadata comparisons do not split on them.
+func normRep(k int) int {
+	if k < 1 {
+		return 1
+	}
+	return k
+}
+
+// checkWarmStartMeta validates a restored checkpoint's machine metadata
+// against this invocation's flags, so a mismatch is a named flag error
+// rather than a corrupt-restore failure (or a silently different
+// machine) downstream.
+func checkWarmStartMeta(ws *warmStart, f simFlags) error {
+	if ws.Nodes == 0 {
+		return fmt.Errorf("checkpoint predates machine metadata: re-create it with this build's -checkpoint")
+	}
+	if ws.App != f.App {
+		return fmt.Errorf("checkpoint was written for -app %s, this run has -app %s", ws.App, f.App)
+	}
+	if ws.Nodes != f.Nodes {
+		return fmt.Errorf("checkpoint was written with -nodes %d, this run has -nodes %d", ws.Nodes, f.Nodes)
+	}
+	if ws.Spare != f.Spare {
+		return fmt.Errorf("checkpoint was written with -spare=%v, this run has -spare=%v", ws.Spare, f.Spare)
+	}
+	if normRep(ws.Rep) != normRep(f.Rep) {
+		return fmt.Errorf("checkpoint was written with -rep %d, this run has -rep %d", normRep(ws.Rep), normRep(f.Rep))
+	}
+	return nil
+}
+
 // obsFlags bundles the observability flags for validation: each analysis
 // flag must have the recording it depends on, and a bad sampling interval
 // is an error rather than a divide-by-zero downstream.
@@ -409,6 +509,13 @@ type warmStart struct {
 	App   string
 	Edges uint64
 	DG    *graph.DeviceGraph
+	// Machine shape the checkpoint was written under; a -restore with
+	// different flags is rejected by checkWarmStartMeta before any state
+	// is loaded. Zero Nodes marks a checkpoint from before these fields
+	// existed.
+	Nodes int
+	Spare bool
+	Rep   int
 }
 
 const cliCkptMagic = "UDCLICKP"
@@ -417,9 +524,11 @@ const cliCkptMagic = "UDCLICKP"
 // metadata, then the machine checkpoint. The gob blob is length-prefixed
 // because gob decoders buffer ahead and would otherwise eat the head of
 // the machine section.
-func writeWarmStart(m *updown.Machine, path, app string, dg *graph.DeviceGraph, edges uint64) error {
+func writeWarmStart(m *updown.Machine, path string, sf simFlags, dg *graph.DeviceGraph, edges uint64) error {
 	var meta bytes.Buffer
-	if err := gob.NewEncoder(&meta).Encode(&warmStart{App: app, Edges: edges, DG: dg}); err != nil {
+	ws := &warmStart{App: sf.App, Edges: edges, DG: dg,
+		Nodes: sf.Nodes, Spare: sf.Spare, Rep: normRep(sf.Rep)}
+	if err := gob.NewEncoder(&meta).Encode(ws); err != nil {
 		return fmt.Errorf("checkpoint metadata: %w", err)
 	}
 	f, err := os.Create(path)
@@ -455,7 +564,7 @@ func writeWarmStart(m *updown.Machine, path, app string, dg *graph.DeviceGraph, 
 // app recorded in the file must match -app; machine mismatches are
 // rejected by Machine.Restore with a typed error before any state
 // changes.
-func mustRestoreWarmStart(m *updown.Machine, path, app string) (*graph.DeviceGraph, uint64) {
+func mustRestoreWarmStart(m *updown.Machine, path string, sf simFlags) (*graph.DeviceGraph, uint64) {
 	f, err := os.Open(path)
 	must(err)
 	defer f.Close()
@@ -469,8 +578,8 @@ func mustRestoreWarmStart(m *updown.Machine, path, app string) (*graph.DeviceGra
 	must(err)
 	var ws warmStart
 	must(gob.NewDecoder(bytes.NewReader(metaBytes)).Decode(&ws))
-	if ws.App != app {
-		log.Fatalf("%s was checkpointed for -app %s, not %s", path, ws.App, app)
+	if err := checkWarmStartMeta(&ws, sf); err != nil {
+		log.Fatalf("%s: %v", path, err)
 	}
 	must(m.Restore(r))
 	return ws.DG, ws.Edges
@@ -491,9 +600,9 @@ func report(m *updown.Machine, stats updown.Stats, elapsed updown.Cycles) {
 			float64(stats.ShuffleTuples)/float64(stats.ShuffleMsgs))
 	}
 	if !stats.Faults.Zero() {
-		fmt.Printf("faults: dropped=%d dupped=%d delayed=%d dead-letters=%d stalls=%d\n",
+		fmt.Printf("faults: dropped=%d dupped=%d delayed=%d dead-letters=%d failovers=%d stalls=%d\n",
 			stats.Faults.Dropped, stats.Faults.Dupped, stats.Faults.Delayed,
-			stats.Faults.DeadLetters, stats.Faults.Stalled)
+			stats.Faults.DeadLetters, stats.Faults.Failovers, stats.Faults.Stalled)
 	}
 }
 

@@ -55,3 +55,89 @@ func TestObsFlagsTraceOptions(t *testing.T) {
 		t.Errorf("critpath only: options = %+v", o)
 	}
 }
+
+func TestSimFlagsValidate(t *testing.T) {
+	// ok is a valid baseline each case perturbs.
+	ok := simFlags{App: "bfs", Nodes: 4}
+	cases := []struct {
+		name    string
+		mut     func(*simFlags)
+		wantErr string
+	}{
+		{"baseline", func(f *simFlags) {}, ""},
+		{"checkpoint and restore", func(f *simFlags) { f.CkptPath = "a"; f.RestorePath = "b" }, "mutually exclusive"},
+		{"checkpoint for match", func(f *simFlags) { f.App = "match"; f.CkptPath = "a" }, "pr|bfs|tc"},
+		{"restore for ingest", func(f *simFlags) { f.App = "ingest"; f.RestorePath = "a" }, "pr|bfs|tc"},
+		{"combine without coalesce", func(f *simFlags) { f.Combine = true }, "-coalesce"},
+		{"combine with coalesce", func(f *simFlags) { f.Combine = true; f.Coalesce = true }, ""},
+		{"negative rep", func(f *simFlags) { f.Rep = -1 }, "-rep"},
+		{"rep beyond fan-out", func(f *simFlags) { f.Rep = 99 }, "-rep"},
+		{"rep beyond nodes", func(f *simFlags) { f.Rep = 8 }, "not enough distinct nodes"},
+		{"rep 2", func(f *simFlags) { f.Rep = 2 }, ""},
+		{"victim without rep", func(f *simFlags) { f.Spare = true; f.VictimAt = 1000 }, "-rep 2"},
+		{"victim without spare", func(f *simFlags) { f.Rep = 2; f.VictimAt = 1000 }, "-spare"},
+		{"negative victim", func(f *simFlags) { f.VictimAt = -5 }, "-victim"},
+		{"victim full config", func(f *simFlags) { f.Rep = 2; f.Spare = true; f.VictimAt = 1000 }, ""},
+		{"victim one node", func(f *simFlags) { f.Nodes = 1; f.Rep = 1; f.Spare = true; f.VictimAt = 9 }, "-rep 2"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := ok
+			tc.mut(&f)
+			err := f.validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("validate(%+v) = %v, want nil", f, err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("validate(%+v) = nil, want error mentioning %q", f, tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestCheckWarmStartMeta(t *testing.T) {
+	flags := simFlags{App: "bfs", Nodes: 4, Spare: true, Rep: 2}
+	good := warmStart{App: "bfs", Nodes: 4, Spare: true, Rep: 2}
+	cases := []struct {
+		name    string
+		mut     func(*warmStart)
+		wantErr string
+	}{
+		{"match", func(ws *warmStart) {}, ""},
+		{"legacy checkpoint", func(ws *warmStart) { ws.Nodes = 0 }, "predates machine metadata"},
+		{"app mismatch", func(ws *warmStart) { ws.App = "pr" }, "-app"},
+		{"nodes mismatch", func(ws *warmStart) { ws.Nodes = 8 }, "-nodes"},
+		{"spare mismatch", func(ws *warmStart) { ws.Spare = false }, "-spare"},
+		{"rep mismatch", func(ws *warmStart) { ws.Rep = 3 }, "-rep"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ws := good
+			tc.mut(&ws)
+			err := checkWarmStartMeta(&ws, flags)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("got %v, want nil", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("got %v, want error mentioning %q", err, tc.wantErr)
+			}
+		})
+	}
+	// rep 0 and rep 1 are the same machine.
+	ws := good
+	ws.Rep = 1
+	f := flags
+	f.Rep = 0
+	if err := checkWarmStartMeta(&ws, f); err != nil {
+		t.Errorf("rep 0 vs 1 rejected: %v", err)
+	}
+}

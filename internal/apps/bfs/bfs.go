@@ -202,9 +202,15 @@ func (a *App) InitValues() {
 	a.f.HostSeed(a.m.GAS, 0, 0, seed)
 }
 
+// Post queues the driver event without entering the simulator, so the
+// host can drive execution itself (RunUntil + Checkpoint workflows).
+func (a *App) Post() {
+	a.m.Start(updown.EvwNew(a.cfg.Lanes.First, a.lDriver))
+}
+
 // Run simulates to completion.
 func (a *App) Run() (updown.Stats, error) {
-	a.m.Start(updown.EvwNew(a.cfg.Lanes.First, a.lDriver))
+	a.Post()
 	return a.m.Run()
 }
 

@@ -125,7 +125,7 @@ func New(m *updown.Machine, dg *graph.DeviceGraph, cfg Config) (*App, error) {
 	p := m.Prog
 	a.cc = collections.NewCombiningCache(p, "pr.fna", collections.AddF64)
 	var err error
-	a.auxVA, err = m.GAS.DRAMmalloc(uint64(dg.G.N)*gasmem.WordBytes, 0, m.Arch.Nodes, 32<<10)
+	a.auxVA, err = m.GAS.DRAMmalloc(uint64(dg.G.N)*gasmem.WordBytes, 0, gasmem.FloorPow2(m.Arch.Nodes), 32<<10)
 	if err != nil {
 		return nil, err
 	}

@@ -103,7 +103,7 @@ func New(m *updown.Machine, input []uint64, cfg Config) (*App, error) {
 	a := &App{m: m, cfg: cfg, n: len(input)}
 	gas := m.GAS
 	var err error
-	a.inVA, err = gas.DRAMmalloc(uint64(len(input))*gasmem.WordBytes, 0, m.Arch.Nodes, 32<<10)
+	a.inVA, err = gas.DRAMmalloc(uint64(len(input))*gasmem.WordBytes, 0, gasmem.FloorPow2(m.Arch.Nodes), 32<<10)
 	if err != nil {
 		return nil, err
 	}
@@ -113,7 +113,7 @@ func New(m *updown.Machine, input []uint64, cfg Config) (*App, error) {
 		}
 		gas.WriteU64(a.inVA+uint64(i)*gasmem.WordBytes, v)
 	}
-	a.bucketsVA, err = gas.DRAMmalloc(uint64(cfg.Buckets*cfg.BucketCap)*gasmem.WordBytes, 0, m.Arch.Nodes, 32<<10)
+	a.bucketsVA, err = gas.DRAMmalloc(uint64(cfg.Buckets*cfg.BucketCap)*gasmem.WordBytes, 0, gasmem.FloorPow2(m.Arch.Nodes), 32<<10)
 	if err != nil {
 		return nil, err
 	}

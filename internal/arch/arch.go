@@ -51,6 +51,16 @@ const (
 	// that carry their own ack/retry/dedup machinery (resilient KVMSR)
 	// send on this class; everything else stays on the reliable kinds.
 	KindEventU
+	// KindDRAMWriteHint is a hinted-handoff leg of a replicated write:
+	// the replica's node fail-stopped, so Ops[0] packs (va, intended
+	// node) — see gasmem.HintOp — and Ops[1:1+n] carry the words. The
+	// receiving controller queues the record for backfill instead of
+	// applying it.
+	KindDRAMWriteHint
+	// KindDRAMFetchAddHint is the hinted form of KindDRAMFetchAdd.
+	KindDRAMFetchAddHint
+	// KindDRAMFetchAddFHint is the hinted form of KindDRAMFetchAddF.
+	KindDRAMFetchAddFHint
 )
 
 // Machine holds every architectural parameter of a simulated UpDown system.

@@ -2,12 +2,23 @@ package dram
 
 import "updown/internal/sim"
 
-// Snapshot implements sim.Snapshotter: the controller's only mutable
-// state is its bandwidth horizon and traffic counter (the backing store
-// belongs to gasmem, which snapshots separately).
+// Snapshot implements sim.Snapshotter: the controller's mutable state is
+// its bandwidth horizon, traffic counters and the hinted-handoff log (the
+// backing store belongs to gasmem, which snapshots separately).
 func (c *Controller) Snapshot(w *sim.SnapWriter) error {
 	w.I64(c.busy64)
 	w.I64(c.Bytes)
+	w.I64(c.FallbackReads)
+	w.U64(uint64(len(c.hints)))
+	for _, h := range c.hints {
+		w.U64(uint64(h.Intended))
+		w.U64(uint64(h.Kind))
+		w.U64(uint64(h.NOps))
+		w.U64(h.VA)
+		for i := 0; i < int(h.NOps); i++ {
+			w.U64(h.Ops[i])
+		}
+	}
 	return w.Err()
 }
 
@@ -15,5 +26,20 @@ func (c *Controller) Snapshot(w *sim.SnapWriter) error {
 func (c *Controller) RestoreSnapshot(r *sim.SnapReader) error {
 	c.busy64 = r.I64()
 	c.Bytes = r.I64()
+	c.FallbackReads = r.I64()
+	n := r.U64()
+	c.hints = nil
+	for i := uint64(0); i < n && r.Err() == nil; i++ {
+		h := Hint{
+			Intended: int32(r.U64()),
+			Kind:     uint8(r.U64()),
+			NOps:     uint8(r.U64()),
+			VA:       r.U64(),
+		}
+		for j := 0; j < int(h.NOps) && j < len(h.Ops); j++ {
+			h.Ops[j] = r.U64()
+		}
+		c.hints = append(c.hints, h)
+	}
 	return r.Err()
 }

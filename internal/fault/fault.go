@@ -104,6 +104,10 @@ type Counts struct {
 	// DeadLetters counts messages discarded at delivery because the
 	// destination node had fail-stopped.
 	DeadLetters int64
+	// Failovers counts DRAM messages that would have been dead letters
+	// but were rerouted to a surviving replica (or converted to hinted
+	// handoff) by the replicated-placement layer.
+	Failovers int64
 	// Stalled counts lane stalls applied.
 	Stalled int64
 }
@@ -114,6 +118,7 @@ func (c *Counts) Add(o Counts) {
 	c.Dupped += o.Dupped
 	c.Delayed += o.Delayed
 	c.DeadLetters += o.DeadLetters
+	c.Failovers += o.Failovers
 	c.Stalled += o.Stalled
 }
 

@@ -19,6 +19,17 @@ import (
 // VA is a virtual address in the shared global address space.
 type VA = uint64
 
+// FloorPow2 returns the largest power of two that is <= n, or 0 for
+// n <= 0. Callers that spread an allocation over "all nodes" use it to
+// clamp a non-power-of-two machine (for example one carrying a spare
+// node for replication chaos runs) down to a legal DRAMmalloc span.
+func FloorPow2(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return 1 << (bits.Len(uint(n)) - 1)
+}
+
 // WordBytes is the access granularity.
 const WordBytes = 8
 
@@ -42,9 +53,24 @@ type Region struct {
 	// two so the descriptor stays a swizzle mask).
 	BS uint64
 
+	// Rep is the replication factor: every block is stored on Rep
+	// consecutive ring positions starting at its home position, so a
+	// fail-stopped node leaves Rep-1 live copies of each of its blocks
+	// (Dynamo-style preference list walked clockwise from the home).
+	Rep int
+
 	// physBase[i] is the physical byte offset of the region's storage on
-	// node FirstNode+i.
+	// the node at ring position i (nodes[i]). The storage holds Rep
+	// stripes of perNode bytes each: stripe j at physBase[i]+j*perNode
+	// carries the blocks whose home position is (i-j) mod NRNodes.
 	physBase []uint64
+
+	// nodes[i] is the machine node serving ring position i. Initially
+	// FirstNode+i; Reassign substitutes a spare after a fail-stop.
+	nodes []int32
+
+	// perNode is the byte size of one replica stripe on one node.
+	perNode uint64
 
 	bsShift  uint
 	nodeMask uint64
@@ -54,6 +80,13 @@ type Region struct {
 // node and the physical byte offset on that node. This is the swizzle-mask
 // computation the UpDown hardware performs with no software overhead.
 func (r *Region) Translate(va VA) (node int, phys uint64) {
+	return r.TranslateReplica(va, 0)
+}
+
+// TranslateReplica resolves replica stripe j of va: the node at ring
+// position (home+j) mod NRNodes and the physical byte offset of the copy in
+// that node's stripe j. j = 0 is the primary (identical to Translate).
+func (r *Region) TranslateReplica(va VA, j int) (node int, phys uint64) {
 	off := va - r.Base
 	blk := off >> r.bsShift
 	n := blk & r.nodeMask
@@ -61,7 +94,21 @@ func (r *Region) Translate(va VA) (node int, phys uint64) {
 	if r.nodeMask == 0 {
 		within = blk
 	}
-	return r.FirstNode + int(n), r.physBase[n] + within<<r.bsShift + (off & (r.BS - 1))
+	i := (n + uint64(j)) & r.nodeMask
+	return int(r.nodes[i]), r.physBase[i] + uint64(j)*r.perNode + within<<r.bsShift + (off & (r.BS - 1))
+}
+
+// ReplicaIndexOn returns which replica stripe of va the given machine node
+// holds, or ok=false if the node is not in va's preference list.
+func (r *Region) ReplicaIndexOn(va VA, node int) (j int, ok bool) {
+	off := va - r.Base
+	n := (off >> r.bsShift) & r.nodeMask
+	for j := 0; j < r.Rep; j++ {
+		if int(r.nodes[(n+uint64(j))&r.nodeMask]) == node {
+			return j, true
+		}
+	}
+	return 0, false
 }
 
 // Contains reports whether va falls inside the region.
@@ -83,6 +130,19 @@ type GAS struct {
 	used     []uint64   // per node, bytes bump-allocated
 	regions  []*Region  // sorted by Base
 	nextVA   VA
+
+	// rep is the default replication factor applied by DRAMmalloc
+	// (clamped to the allocation's node count); replicated reports
+	// whether any region was allocated with Rep > 1.
+	rep        int
+	replicated bool
+
+	// deadAt[n] is the cycle at which node n fail-stops (aliveForever
+	// when it never does); nil until SetFailStop is first called. It
+	// mirrors the compiled fault plan so placement decisions — read
+	// fall-over, write fan-out, hinted handoff — can consult liveness
+	// without a simulator dependency.
+	deadAt []int64
 }
 
 // New creates an address space spanning n node memories of capBytes each.
@@ -108,9 +168,25 @@ func (g *GAS) Nodes() int { return g.nodes }
 // nrNodes and bs must be powers of two. Passing bs == size/nrNodes yields
 // one contiguous chunk per node (the BFS frontier layout in Section 4.2).
 func (g *GAS) DRAMmalloc(size uint64, firstNode, nrNodes int, bs uint64) (VA, error) {
+	rep := g.rep
+	if rep < 1 {
+		rep = 1
+	}
+	if rep > nrNodes {
+		rep = nrNodes // a 1-node scratch region cannot hold k copies
+	}
+	return g.DRAMmallocRep(size, firstNode, nrNodes, bs, rep)
+}
+
+// DRAMmallocRep is DRAMmalloc with an explicit replication factor: every
+// block is stored on rep consecutive ring positions, so each participating
+// node carries rep stripes (rep × the unreplicated footprint).
+func (g *GAS) DRAMmallocRep(size uint64, firstNode, nrNodes int, bs uint64, rep int) (VA, error) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	switch {
+	case rep < 1 || rep > nrNodes:
+		return 0, fmt.Errorf("gasmem: replication factor %d outside [1,%d]", rep, nrNodes)
 	case size == 0:
 		return 0, fmt.Errorf("gasmem: zero-size allocation")
 	case nrNodes <= 0 || nrNodes&(nrNodes-1) != 0:
@@ -127,6 +203,11 @@ func (g *GAS) DRAMmalloc(size uint64, firstNode, nrNodes int, bs uint64) (VA, er
 	stride := bs * uint64(nrNodes)
 	rounded := (size + stride - 1) / stride * stride
 	perNode := rounded / uint64(nrNodes)
+	if g.nextVA+rounded > hintVALimit {
+		// Hinted-handoff headers pack the intended node into the VA's
+		// top bits; keeping all VAs under 2^48 makes that lossless.
+		return 0, fmt.Errorf("gasmem: address space exhausted (VA would pass 2^48)")
+	}
 
 	r := &Region{
 		Base:      g.nextVA,
@@ -134,19 +215,24 @@ func (g *GAS) DRAMmalloc(size uint64, firstNode, nrNodes int, bs uint64) (VA, er
 		FirstNode: firstNode,
 		NRNodes:   nrNodes,
 		BS:        bs,
+		Rep:       rep,
 		physBase:  make([]uint64, nrNodes),
+		nodes:     make([]int32, nrNodes),
+		perNode:   perNode,
 		bsShift:   uint(bits.TrailingZeros64(bs)),
 		nodeMask:  uint64(nrNodes - 1),
 	}
+	footprint := perNode * uint64(rep)
 	for i := 0; i < nrNodes; i++ {
-		if node := firstNode + i; g.used[node]+perNode > g.capacity {
-			return 0, fmt.Errorf("gasmem: node %d over capacity (%d + %d > %d)", node, g.used[node], perNode, g.capacity)
+		if node := firstNode + i; g.used[node]+footprint > g.capacity {
+			return 0, fmt.Errorf("gasmem: node %d over capacity (%d + %d > %d)", node, g.used[node], footprint, g.capacity)
 		}
 	}
 	for i := 0; i < nrNodes; i++ {
 		node := firstNode + i
+		r.nodes[i] = int32(node)
 		r.physBase[i] = g.used[node]
-		g.used[node] += perNode
+		g.used[node] += footprint
 		need := (g.used[node] + WordBytes - 1) / WordBytes
 		if uint64(len(g.store[node])) < need {
 			grown := make([]uint64, need)
@@ -154,11 +240,27 @@ func (g *GAS) DRAMmalloc(size uint64, firstNode, nrNodes int, bs uint64) (VA, er
 			g.store[node] = grown
 		}
 	}
+	if rep > 1 {
+		g.replicated = true
+	}
 	g.nextVA += rounded
 	// Keep regions VA-sorted; allocations are monotone so append suffices.
 	g.regions = append(g.regions, r)
 	return r.Base, nil
 }
+
+// SetReplication sets the default replication factor for subsequent
+// DRAMmalloc calls (clamped per allocation to its node count). It lets a
+// machine opt every application allocation into k-way placement without
+// threading a factor through each call site.
+func (g *GAS) SetReplication(k int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.rep = k
+}
+
+// Replicated reports whether any region holds more than one copy.
+func (g *GAS) Replicated() bool { return g.replicated }
 
 // RegionOf returns the region containing va, or nil.
 func (g *GAS) RegionOf(va VA) *Region {
@@ -195,27 +297,51 @@ func (g *GAS) checkAligned(va VA) {
 
 // ReadU64 loads the word at va. During simulation it must only be invoked
 // from the owning node's memory controller; the host may use it freely
-// outside Engine.Run.
+// outside Engine.Run. For replicated regions it serves the copy on the
+// first finally-alive node of va's preference list, so host verification
+// after a fail-stopped run reads surviving data.
 func (g *GAS) ReadU64(va VA) uint64 {
 	g.checkAligned(va)
-	node, phys := g.Translate(va)
+	r := g.regionOrFault(va)
+	node, phys := r.TranslateReplica(va, g.readStripe(r, va))
 	return g.store[node][phys/WordBytes]
 }
 
 // WriteU64 stores v at va, with the same ownership rules as ReadU64.
+// Replicated regions receive the store on every replica stripe.
 func (g *GAS) WriteU64(va VA, v uint64) {
 	g.checkAligned(va)
-	node, phys := g.Translate(va)
-	g.store[node][phys/WordBytes] = v
+	r := g.regionOrFault(va)
+	for j := 0; j < r.Rep; j++ {
+		node, phys := r.TranslateReplica(va, j)
+		g.store[node][phys/WordBytes] = v
+	}
 }
 
 // AddU64 adds delta to the word at va and returns the previous value.
+// Replicated regions apply the add to every replica stripe; the previous
+// value is read from the stripe ReadU64 would serve.
 func (g *GAS) AddU64(va VA, delta uint64) uint64 {
 	g.checkAligned(va)
-	node, phys := g.Translate(va)
-	old := g.store[node][phys/WordBytes]
-	g.store[node][phys/WordBytes] = old + delta
+	r := g.regionOrFault(va)
+	rd := g.readStripe(r, va)
+	var old uint64
+	for j := 0; j < r.Rep; j++ {
+		node, phys := r.TranslateReplica(va, j)
+		if j == rd {
+			old = g.store[node][phys/WordBytes]
+		}
+		g.store[node][phys/WordBytes] += delta
+	}
 	return old
+}
+
+func (g *GAS) regionOrFault(va VA) *Region {
+	r := g.RegionOf(va)
+	if r == nil {
+		panic(fmt.Sprintf("gasmem: translation fault at VA 0x%x", va))
+	}
+	return r
 }
 
 // ReadWords bulk-loads n consecutive words starting at va into dst.

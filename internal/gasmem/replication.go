@@ -1,0 +1,393 @@
+// Replicated placement: the Dynamo-style machinery (ROADMAP item 4) that
+// turns the block-cyclic ring of a region into a preference list. Each
+// block's home position plus the next Rep-1 clockwise positions hold one
+// copy each; writes fan out to every copy, reads fall over past
+// fail-stopped nodes, and writes aimed at a dead node are redirected as
+// hinted-handoff records to the next finally-alive ring node, to be
+// drained into the recovering (or spare) node at backfill.
+//
+// The package stays simulator-free: liveness is a mirror of the compiled
+// fault plan installed by the machine layer via SetFailStop, with times in
+// plain int64 cycles.
+package gasmem
+
+import "fmt"
+
+// aliveForever marks a node with no scheduled fail-stop.
+const aliveForever = int64(^uint64(0) >> 1)
+
+// MaxRep bounds the fan-out of a single replicated write. It mirrors the
+// simulator's message operand budget; factors this large are already far
+// past the durability sweet spot (the paper's scale argument needs k=2..3).
+const MaxRep = 8
+
+// hintVALimit keeps every virtual address below 2^48 so a hint header can
+// pack the intended node into the top 16 bits losslessly.
+const hintVALimit VA = 1 << 48
+
+const hintNodeShift = 48
+
+// HintOp packs (va, intended node) into one operand for a hinted-handoff
+// DRAM message: the write could not be delivered to intended, and is logged
+// at the receiving controller until intended (or its replacement) is
+// backfilled.
+func HintOp(va VA, intended int) uint64 {
+	return va | uint64(intended)<<hintNodeShift
+}
+
+// SplitHintOp unpacks a hint header built by HintOp.
+func SplitHintOp(op0 uint64) (va VA, intended int) {
+	return op0 & (hintVALimit - 1), int(op0 >> hintNodeShift)
+}
+
+// SetFailStop mirrors a compiled fail-stop into the address space: node
+// stops serving at cycle `at`. The earliest time wins, matching the fault
+// plan's compilation rule.
+func (g *GAS) SetFailStop(node int, at int64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.deadAt == nil {
+		g.deadAt = make([]int64, g.nodes)
+		for i := range g.deadAt {
+			g.deadAt[i] = aliveForever
+		}
+	}
+	if at < g.deadAt[node] {
+		g.deadAt[node] = at
+	}
+}
+
+// AliveAt reports whether node is still serving at cycle t.
+func (g *GAS) AliveAt(node int, t int64) bool {
+	return g.deadAt == nil || t < g.deadAt[node]
+}
+
+// FinallyAlive reports whether node never fail-stops during the run.
+func (g *GAS) FinallyAlive(node int) bool {
+	return g.deadAt == nil || g.deadAt[node] == aliveForever
+}
+
+// Recover clears a node's fail-stop record after an in-place backfill, so
+// host-side routing treats it as serving again.
+func (g *GAS) Recover(node int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.deadAt != nil {
+		g.deadAt[node] = aliveForever
+	}
+}
+
+// readStripe picks the replica stripe a read of va should be served from:
+// the primary, unless its node fail-stops during the run, in which case the
+// first finally-alive entry of the preference list. The choice is
+// deliberately time-invariant — it depends only on the static fault plan —
+// so a given address is always served by the same copy and results stay
+// deterministic at any shard count.
+func (g *GAS) readStripe(r *Region, va VA) int {
+	if r.Rep == 1 || g.deadAt == nil {
+		return 0
+	}
+	for j := 0; j < r.Rep; j++ {
+		node, _ := r.TranslateReplica(va, j)
+		if g.FinallyAlive(node) {
+			return j
+		}
+	}
+	// Every copy lost: serve the primary's frozen stripe (best effort).
+	return 0
+}
+
+// ReadTarget returns the machine node that should serve a read of va.
+// Reads are quorum-of-one against the first surviving copy: fail-stops are
+// fail-stop (no byzantine divergence), so one live replica is authoritative.
+func (g *GAS) ReadTarget(va VA) int {
+	r := g.regionOrFault(va)
+	node, _ := r.TranslateReplica(va, g.readStripe(r, va))
+	return node
+}
+
+// WriteTarget is one leg of a replicated write fan-out.
+type WriteTarget struct {
+	// Node receives the DRAM message.
+	Node int
+	// Hint marks a redirected leg: the replica's node was already dead
+	// when the write was issued, so the message is a hinted-handoff
+	// record for Node to queue, with Op0 carrying HintOp(va, intended).
+	Hint bool
+	// Op0 is the first operand for the message: va, or a hint header.
+	Op0 uint64
+}
+
+// WriteTargets computes the fan-out for a write (or fetch-add) of va issued
+// at cycle t, filling tg and returning the leg count. The first leg is the
+// coordinator — the first replica alive at t, whose controller owns the
+// operation's response; remaining legs are fire-and-forget copies. Legs
+// whose replica node is already dead become hinted-handoff records aimed at
+// the next finally-alive ring node.
+func (g *GAS) WriteTargets(va VA, t int64, tg *[MaxRep]WriteTarget) int {
+	r := g.regionOrFault(va)
+	if r.Rep == 1 {
+		node, _ := r.Translate(va)
+		tg[0] = WriteTarget{Node: node, Op0: va}
+		return 1
+	}
+	n := 0
+	coord := -1
+	for j := 0; j < r.Rep; j++ {
+		node, _ := r.TranslateReplica(va, j)
+		if g.AliveAt(node, t) {
+			if coord == -1 {
+				coord = n
+			}
+			tg[n] = WriteTarget{Node: node, Op0: va}
+		} else {
+			tg[n] = WriteTarget{Node: g.handoffNode(r, va), Hint: true, Op0: HintOp(va, node)}
+		}
+		n++
+	}
+	if coord > 0 {
+		tg[0], tg[coord] = tg[coord], tg[0]
+	}
+	// With every replica dead at issue time the first hint leg
+	// coordinates: the handoff controller queues the record and owns the
+	// response.
+	return n
+}
+
+// handoffNode walks the ring clockwise from the end of va's preference
+// list to the first finally-alive node, which will queue the hinted write.
+// Dynamo's convention: the hint holder is preferably a node that carries
+// no copy of va itself, so the log does not compete with live stripes;
+// when every outside node is doomed the walk wraps around to surviving
+// replica holders before giving up.
+func (g *GAS) handoffNode(r *Region, va VA) int {
+	off := va - r.Base
+	home := (off >> r.bsShift) & r.nodeMask
+	for step := 0; step < r.NRNodes; step++ {
+		node := int(r.nodes[(home+uint64(r.Rep+step))&r.nodeMask])
+		if g.FinallyAlive(node) {
+			return node
+		}
+	}
+	panic(fmt.Sprintf("gasmem: no finally-alive node to hold hint for VA 0x%x", va))
+}
+
+// FailoverRead resolves the replica that should serve a read originally
+// aimed at deadNode (fail-stopped before delivery): the next finally-alive
+// entry of va's preference list. ok=false means the region is unreplicated
+// — the read is genuinely lost, the k=1 behaviour.
+func (g *GAS) FailoverRead(va VA, deadNode int) (node int, ok bool) {
+	r := g.RegionOf(va)
+	if r == nil || r.Rep == 1 {
+		return 0, false
+	}
+	j, ok := r.ReplicaIndexOn(va, deadNode)
+	if !ok {
+		return 0, false
+	}
+	for k := 1; k < r.Rep; k++ {
+		n, _ := r.TranslateReplica(va, (j+k)%r.Rep)
+		if g.FinallyAlive(n) {
+			return n, true
+		}
+	}
+	return 0, false
+}
+
+// HandoffTarget resolves where an undeliverable write leg (aimed at the
+// fail-stopped intended node) should be queued as a hint, returning the
+// handoff node and the packed hint header. ok=false for unreplicated
+// regions or when intended holds no copy of va.
+func (g *GAS) HandoffTarget(va VA, intended int) (node int, op0 uint64, ok bool) {
+	r := g.RegionOf(va)
+	if r == nil || r.Rep == 1 {
+		return 0, 0, false
+	}
+	if _, ok := r.ReplicaIndexOn(va, intended); !ok {
+		return 0, 0, false
+	}
+	return g.handoffNode(r, va), HintOp(va, intended), true
+}
+
+// ReadFallback reports whether a read of va served at node lands on a
+// non-primary replica — i.e. the home node fail-stopped and the read fell
+// over. Unreplicated regions never fall back.
+func (g *GAS) ReadFallback(node int, va VA) bool {
+	r := g.RegionOf(va)
+	if r == nil || r.Rep == 1 {
+		return false
+	}
+	p, _ := r.Translate(va)
+	return p != node
+}
+
+// CtrlReadU64 serves one word of a DRAM read arriving at a controller.
+// Replicated words resident on the node are served from its own stripe;
+// non-resident words (a bulk read crossing a block boundary) and
+// unreplicated regions go through global translation with read fall-over,
+// matching the unreplicated controller's remote-word shortcut.
+func (g *GAS) CtrlReadU64(node int, va VA) uint64 {
+	g.checkAligned(va)
+	r := g.regionOrFault(va)
+	if r.Rep > 1 {
+		if j, ok := r.ReplicaIndexOn(va, node); ok {
+			n, phys := r.TranslateReplica(va, j)
+			return g.store[n][phys/WordBytes]
+		}
+	}
+	n, phys := r.TranslateReplica(va, g.readStripe(r, va))
+	return g.store[n][phys/WordBytes]
+}
+
+// CtrlWriteU64 applies one word of a write leg arriving at a controller:
+// into the node's own replica stripe for replicated regions (each leg of
+// the fan-out lands on its own copy), or via global translation for
+// unreplicated ones.
+func (g *GAS) CtrlWriteU64(node int, va VA, v uint64) {
+	g.checkAligned(va)
+	r := g.regionOrFault(va)
+	if r.Rep > 1 {
+		j, ok := r.ReplicaIndexOn(va, node)
+		if !ok {
+			panic(fmt.Sprintf("gasmem: node %d holds no replica of VA 0x%x", node, va))
+		}
+		n, phys := r.TranslateReplica(va, j)
+		g.store[n][phys/WordBytes] = v
+		return
+	}
+	n, phys := r.Translate(va)
+	g.store[n][phys/WordBytes] = v
+}
+
+// CtrlAddU64 applies one fetch-add leg at a controller and returns the
+// previous value of the node's own copy (the coordinator's return value).
+func (g *GAS) CtrlAddU64(node int, va VA, delta uint64) uint64 {
+	g.checkAligned(va)
+	r := g.regionOrFault(va)
+	if r.Rep > 1 {
+		j, ok := r.ReplicaIndexOn(va, node)
+		if !ok {
+			panic(fmt.Sprintf("gasmem: node %d holds no replica of VA 0x%x", node, va))
+		}
+		n, phys := r.TranslateReplica(va, j)
+		old := g.store[n][phys/WordBytes]
+		g.store[n][phys/WordBytes] = old + delta
+		return old
+	}
+	n, phys := r.Translate(va)
+	old := g.store[n][phys/WordBytes]
+	g.store[n][phys/WordBytes] = old + delta
+	return old
+}
+
+// NodeWriteU64 stores v into node's replica stripe of va (backfill path).
+func (g *GAS) NodeWriteU64(node int, va VA, v uint64) {
+	g.checkAligned(va)
+	r := g.regionOrFault(va)
+	j, ok := r.ReplicaIndexOn(va, node)
+	if !ok {
+		panic(fmt.Sprintf("gasmem: node %d holds no replica of VA 0x%x", node, va))
+	}
+	n, phys := r.TranslateReplica(va, j)
+	g.store[n][phys/WordBytes] = v
+}
+
+// NodeReadU64 loads node's own copy of va (backfill and verification).
+func (g *GAS) NodeReadU64(node int, va VA) uint64 {
+	g.checkAligned(va)
+	r := g.regionOrFault(va)
+	j, ok := r.ReplicaIndexOn(va, node)
+	if !ok {
+		panic(fmt.Sprintf("gasmem: node %d holds no replica of VA 0x%x", node, va))
+	}
+	n, phys := r.TranslateReplica(va, j)
+	return g.store[n][phys/WordBytes]
+}
+
+// Reassign substitutes spare for dead at every ring position dead occupies,
+// allocating fresh (zeroed) stripe storage on the spare. The spare's
+// stripes are then populated by draining hints and Repair.
+func (g *GAS) Reassign(dead, spare int) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if spare < 0 || spare >= g.nodes || spare == dead {
+		return fmt.Errorf("gasmem: invalid spare node %d", spare)
+	}
+	var need uint64
+	for _, r := range g.regions {
+		for _, nd := range r.nodes {
+			if int(nd) == dead {
+				need += uint64(r.Rep) * r.perNode
+			}
+		}
+	}
+	if g.used[spare]+need > g.capacity {
+		return fmt.Errorf("gasmem: spare node %d over capacity (%d + %d > %d)", spare, g.used[spare], need, g.capacity)
+	}
+	for _, r := range g.regions {
+		for i, nd := range r.nodes {
+			if int(nd) != dead {
+				continue
+			}
+			r.nodes[i] = int32(spare)
+			r.physBase[i] = g.used[spare]
+			g.used[spare] += uint64(r.Rep) * r.perNode
+		}
+	}
+	need = (g.used[spare] + WordBytes - 1) / WordBytes
+	if uint64(len(g.store[spare])) < need {
+		grown := make([]uint64, need)
+		copy(grown, g.store[spare])
+		g.store[spare] = grown
+	}
+	return nil
+}
+
+// Repair runs anti-entropy for every replica stripe node holds: each word
+// is compared against a finally-alive peer copy of the same blocks and
+// overwritten on mismatch. It returns the number of words changed — zero
+// when hinted handoff already restored the node exactly.
+func (g *GAS) Repair(node int) (words uint64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, r := range g.regions {
+		if r.Rep == 1 {
+			continue
+		}
+		nr := r.NRNodes
+		for i, nd := range r.nodes {
+			if int(nd) != node {
+				continue
+			}
+			for j := 0; j < r.Rep; j++ {
+				// Position i's stripe j holds the blocks homed at
+				// (i-j); their stripe jj sits at position (i-j+jj).
+				src := -1
+				srcJ := 0
+				for jj := 0; jj < r.Rep; jj++ {
+					if jj == j {
+						continue
+					}
+					p := (i - j + jj + nr) & int(r.nodeMask)
+					if pn := int(r.nodes[p]); pn != node && g.FinallyAlive(pn) {
+						src, srcJ = p, jj
+						break
+					}
+				}
+				if src < 0 {
+					continue // no surviving peer copy
+				}
+				nw := r.perNode / WordBytes
+				dst := g.store[node][r.physBase[i]/WordBytes+uint64(j)*nw:][:nw]
+				from := g.store[r.nodes[src]][r.physBase[src]/WordBytes+uint64(srcJ)*nw:][:nw]
+				for w := range dst {
+					if dst[w] != from[w] {
+						dst[w] = from[w]
+						words++
+					}
+				}
+			}
+		}
+	}
+	return words
+}

@@ -14,8 +14,10 @@ import (
 )
 
 const (
-	snapMagic   = "UDGASMEM"
-	snapVersion = uint32(1)
+	snapMagic = "UDGASMEM"
+	// Version 2 added the replication descriptor fields (Rep, perNode,
+	// ring node assignments) to each region record.
+	snapVersion = uint32(2)
 )
 
 type snapWriter struct {
@@ -73,6 +75,11 @@ func (g *GAS) Snapshot(w io.Writer) error {
 		sw.u64(uint64(r.FirstNode))
 		sw.u64(uint64(r.NRNodes))
 		sw.u64(r.BS)
+		sw.u64(uint64(r.Rep))
+		sw.u64(r.perNode)
+		for _, nd := range r.nodes {
+			sw.u64(uint64(nd))
+		}
 		for _, pb := range r.physBase {
 			sw.u64(pb)
 		}
@@ -131,14 +138,25 @@ func (g *GAS) RestoreSnapshot(r io.Reader) error {
 			FirstNode: int(sr.u64()),
 			NRNodes:   int(sr.u64()),
 			BS:        sr.u64(),
+			Rep:       int(sr.u64()),
+			perNode:   sr.u64(),
 		}
 		if sr.err != nil {
 			break
 		}
 		if reg.NRNodes <= 0 || reg.NRNodes&(reg.NRNodes-1) != 0 ||
 			reg.FirstNode < 0 || reg.FirstNode+reg.NRNodes > g.nodes ||
-			reg.BS == 0 || reg.BS&(reg.BS-1) != 0 {
+			reg.BS == 0 || reg.BS&(reg.BS-1) != 0 ||
+			reg.Rep < 1 || reg.Rep > reg.NRNodes {
 			return fmt.Errorf("gasmem: corrupt region descriptor %d", i)
+		}
+		reg.nodes = make([]int32, reg.NRNodes)
+		for j := range reg.nodes {
+			nd := sr.u64()
+			if sr.err == nil && nd >= uint64(g.nodes) {
+				return fmt.Errorf("gasmem: corrupt region descriptor %d", i)
+			}
+			reg.nodes[j] = int32(nd)
 		}
 		reg.physBase = make([]uint64, reg.NRNodes)
 		for j := range reg.physBase {
@@ -170,5 +188,11 @@ func (g *GAS) RestoreSnapshot(r io.Reader) error {
 	g.used = used
 	g.regions = regions
 	g.store = store
+	g.replicated = false
+	for _, reg := range regions {
+		if reg.Rep > 1 {
+			g.replicated = true
+		}
+	}
 	return nil
 }

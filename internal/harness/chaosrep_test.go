@@ -1,0 +1,68 @@
+package harness
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestChaosReplicatedRoundTrip is the replicated-memory chaos regression:
+// a data-carrying node fail-stops mid-run at k=2, quorum reads must serve
+// throughout, hinted handoff must capture every missed write, and the
+// final BFS/PageRank/TC outputs must match the fault-free run. The whole
+// table — makespans and every protocol counter — must be bit-identical
+// at shard counts 1, 2, 7 and GOMAXPROCS.
+func TestChaosReplicatedRoundTrip(t *testing.T) {
+	shardCounts := []int{1, 2, 7, runtime.GOMAXPROCS(0)}
+	var golden *ChaosRepTable
+	for _, sh := range shardCounts {
+		tb, err := ChaosReplicated(ChaosRepOptions{Scale: 9, Rep: 2, Shards: sh})
+		if err != nil {
+			t.Fatalf("shards=%d: %v", sh, err)
+		}
+		for _, r := range tb.Rows {
+			// Quorum reads actually served: the victim's blocks were
+			// read from a surviving replica, not lost.
+			if r.FallbackReads == 0 {
+				t.Errorf("shards=%d %s: no fallback reads — victim carried no read data", sh, r.App)
+			}
+			if r.DeadLetters != 0 {
+				t.Errorf("shards=%d %s: %d dead letters", sh, r.App, r.DeadLetters)
+			}
+			// In-place heal: hinted handoff alone restores the victim
+			// bit-exactly, anti-entropy finds nothing to fix.
+			if r.RepairedWords != 0 {
+				t.Errorf("shards=%d %s: %d words repaired after hint drain, want 0", sh, r.App, r.RepairedWords)
+			}
+		}
+		if golden == nil {
+			golden = tb
+			continue
+		}
+		if len(tb.Rows) != len(golden.Rows) {
+			t.Fatalf("shards=%d: %d rows, want %d", sh, len(tb.Rows), len(golden.Rows))
+		}
+		for i, r := range tb.Rows {
+			if r != golden.Rows[i] {
+				t.Errorf("shards=%d %s: row diverges from shards=%d:\n  got  %+v\n  want %+v",
+					sh, r.App, shardCounts[0], r, golden.Rows[i])
+			}
+		}
+	}
+}
+
+// TestChaosReplicatedSpare exercises the spare-takeover path at k=3: the
+// victim's ring positions move to the spare node, whose zeroed stripes
+// are rebuilt by hint drain plus anti-entropy from surviving peers.
+func TestChaosReplicatedSpare(t *testing.T) {
+	tb, err := ChaosReplicated(ChaosRepOptions{Scale: 9, Rep: 3, Spare: true, Apps: []string{"bfs"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := tb.Rows[0]
+	if r.RepairedWords == 0 {
+		t.Error("spare takeover repaired no words — the spare started zeroed, anti-entropy must copy content")
+	}
+	if r.FallbackReads == 0 {
+		t.Error("no fallback reads at k=3")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"updown/internal/apps/bfs"
 	"updown/internal/apps/pagerank"
 	"updown/internal/arch"
+	"updown/internal/gasmem"
 	"updown/internal/graph"
 )
 
@@ -35,6 +36,13 @@ type Fig12Options struct {
 	// MaxTime bounds simulated cycles per configuration (0 = default);
 	// timed-out configurations become table notes, not sweep failures.
 	MaxTime arch.Cycles
+	// Reps, when non-empty, appends the replication extension: with the
+	// memory-node count fixed at the largest swept value, every DRAMmalloc
+	// is repeated at each listed replication factor and the tables gain
+	// the tax% (makespan increase over k=1) and dramx (DRAM service-byte
+	// multiple over k=1) columns — the price of the self-healing placement
+	// when nothing fails. A leading 1 is implied; it is the baseline row.
+	Reps []int
 }
 
 // Fig12Placement regenerates Figure 12: the performance impact of the
@@ -161,7 +169,117 @@ func Fig12Placement(opt Fig12Options) ([]*Table, error) {
 	note := "per-node bandwidth reduced to keep the reduced-scale graph memory-bound, matching the paper's s28 operating point"
 	prT.Notes = append(prT.Notes, note)
 	bfsT.Notes = append(bfsT.Notes, note)
-	return []*Table{prT, bfsT}, nil
+	tables := []*Table{prT, bfsT}
+	if len(opt.Reps) > 0 {
+		rt, err := fig12ReplicationTax(opt, g, prSplit, bfsSplit, maxTime)
+		if err != nil {
+			return nil, err
+		}
+		tables = append(tables, rt...)
+	}
+	return tables, nil
+}
+
+// fig12ReplicationTax runs the replication extension of the placement
+// sweep: the memory-node count is pinned at the largest swept value and
+// only the machine's replication factor changes between rows, so the
+// cycle and DRAM-byte deltas are the pure cost of fanning every global
+// write out to k replicas. Metrics are forced on — the dramx column is
+// the point of the table.
+func fig12ReplicationTax(opt Fig12Options, g *graph.Graph, prSplit, bfsSplit *graph.SplitGraph, maxTime arch.Cycles) ([]*Table, error) {
+	mem := opt.MemNodes[len(opt.MemNodes)-1]
+	reps := []int{1}
+	for _, k := range opt.Reps {
+		if k > reps[len(reps)-1] {
+			reps = append(reps, k)
+		}
+	}
+	if mx := gasmem.FloorPow2(mem); reps[len(reps)-1] > mx {
+		return nil, fmt.Errorf("fig12: replication factor %d exceeds the %d-node placement", reps[len(reps)-1], mx)
+	}
+	machine := func(k int) (*updown.Machine, error) {
+		a := arch.DefaultMachine(opt.ComputeNodes)
+		a.DRAMBytesPerCycle = opt.DRAMBytesPerCycle
+		return updown.New(updown.Config{Arch: &a, Shards: opt.Shards,
+			MaxTime: maxTime, Replication: k, Metrics: metricsConfig(true),
+			Trace: traceConfig(opt.CritPath)})
+	}
+	workload := fmt.Sprintf("rmat s%d, %d compute nodes, mem=%d, DRAM %dB/cycle/node", opt.Scale, opt.ComputeNodes, mem, opt.DRAMBytesPerCycle)
+	var tables []*Table
+	for _, app := range []string{"pr", "bfs"} {
+		tb := &Table{MetricName: "GUPS"}
+		split := prSplit
+		if app == "bfs" {
+			tb.MetricName = "GTEPS"
+			split = bfsSplit
+		}
+		tb.Title = fmt.Sprintf("Figure 12 extension: replication tax (%s, k-way replicated placement)", map[string]string{"pr": "PageRank", "bfs": "BFS"}[app])
+		tb.Workload = workload
+		var dramBytes []int64
+		for _, k := range reps {
+			m, err := machine(k)
+			if err != nil {
+				return nil, err
+			}
+			dg, err := graph.LoadToGAS(m.GAS, split, graph.Placement{FirstNode: 0, NRNodes: mem, BlockBytes: 32 << 10})
+			if err != nil {
+				return nil, err
+			}
+			wall := time.Now()
+			var elapsed arch.Cycles
+			var metric float64
+			var stats updown.Stats
+			if app == "pr" {
+				a, err := pagerankNew(m, dg)
+				if err != nil {
+					return nil, err
+				}
+				if stats, err = a.Run(); err != nil {
+					return nil, fmt.Errorf("fig12 replication %s k=%d: %w", app, k, err)
+				}
+				elapsed = a.Elapsed()
+				metric = float64(g.NumEdges()) / m.Seconds(elapsed) / 1e9
+			} else {
+				a, err := bfsNew(m, dg)
+				if err != nil {
+					return nil, err
+				}
+				if stats, err = a.Run(); err != nil {
+					return nil, fmt.Errorf("fig12 replication %s k=%d: %w", app, k, err)
+				}
+				elapsed = a.Elapsed()
+				metric = float64(a.Traversed) / m.Seconds(elapsed) / 1e9
+			}
+			var bytes int64
+			prof := m.Metrics.Profile()
+			for n := range prof.Nodes {
+				bytes += prof.Nodes[n].Totals().DRAMBytes
+			}
+			dramBytes = append(dramBytes, bytes)
+			row := Row{
+				Label:    fmt.Sprintf("k=%d", k),
+				Cycles:   elapsed,
+				Seconds:  m.Seconds(elapsed),
+				Metric:   metric,
+				HostMevS: hostMevS(stats.Events, time.Since(wall)),
+			}
+			fillUtilization(&row, m)
+			fillCritPct(&row, m)
+			tb.Rows = append(tb.Rows, row)
+		}
+		tb.FillSpeedups()
+		base := tb.Rows[0]
+		for i := range tb.Rows {
+			tb.Rows[i].TaxPct = 100 * (float64(tb.Rows[i].Cycles)/float64(base.Cycles) - 1)
+			if dramBytes[0] > 0 {
+				tb.Rows[i].DRAMx = float64(dramBytes[i]) / float64(dramBytes[0])
+			}
+		}
+		tb.Notes = append(tb.Notes,
+			"tax% is the makespan increase and dramx the DRAM service-byte multiple, both over the k=1 row; writes fan out to k replicas, reads are served by one stripe")
+		tables = append(tables, tb)
+	}
+	return tables, nil
 }
 
 func pagerankNew(m *updown.Machine, dg *graph.DeviceGraph) (*pagerank.App, error) {

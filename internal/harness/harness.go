@@ -61,6 +61,15 @@ type Row struct {
 	// is the achieved packing factor (the tup/msg column).
 	Msgs   int64
 	Tuples int64
+	// TaxPct and DRAMx are the replication-tax columns, filled only by
+	// the replication extension of the placement sweep: the makespan
+	// increase (percent) and the total DRAM service-byte multiple of
+	// this row relative to the table's unreplicated (k=1) baseline.
+	// Write traffic fans out to every replica, so DRAMx approaches the
+	// replication factor for write-heavy phases; reads are served by a
+	// single stripe and add no replicated bytes.
+	TaxPct float64
+	DRAMx  float64
 }
 
 // metricsConfig returns the recorder options for a sweep row: nil unless
@@ -189,6 +198,17 @@ func (t *Table) critTracked() bool {
 	return false
 }
 
+// replicated reports whether any row carries a replication-tax value,
+// which then adds the tax% and dramx columns to the rendered tables.
+func (t *Table) replicated() bool {
+	for _, r := range t.Rows {
+		if r.DRAMx != 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // shuffled reports whether any row carries shuffle-traffic counts, which
 // then adds the msgs and tup/msg columns to the rendered tables.
 func (t *Table) shuffled() bool {
@@ -214,11 +234,15 @@ func (t *Table) Format() string {
 	prof := t.profiled()
 	crit := t.critTracked()
 	shuf := t.shuffled()
+	rep := t.replicated()
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s — %s\n", t.Title, t.Workload)
 	fmt.Fprintf(&b, "%-12s %14s %12s %10s %16s %12s", "config", "cycles", "seconds", "speedup", t.MetricName, "host-Mev/s")
 	if shuf {
 		fmt.Fprintf(&b, " %12s %8s", "msgs", "tup/msg")
+	}
+	if rep {
+		fmt.Fprintf(&b, " %8s %8s", "tax%", "dramx")
 	}
 	if prof {
 		fmt.Fprintf(&b, " %8s %8s %8s", "imbal", "dram%", "inj%")
@@ -232,6 +256,9 @@ func (t *Table) Format() string {
 			r.Label, r.Cycles, r.Seconds, r.Speedup, r.Metric, r.HostMevS)
 		if shuf {
 			fmt.Fprintf(&b, " %12d %8.2f", r.Msgs, r.tupPerMsg())
+		}
+		if rep {
+			fmt.Fprintf(&b, " %8.1f %8.2f", r.TaxPct, r.DRAMx)
 		}
 		if prof {
 			fmt.Fprintf(&b, " %8.2f %8.1f %8.1f", r.Imbalance, 100*r.DRAMUtil, 100*r.InjUtil)
@@ -252,12 +279,17 @@ func (t *Table) Markdown() string {
 	prof := t.profiled()
 	crit := t.critTracked()
 	shuf := t.shuffled()
+	rep := t.replicated()
 	var b strings.Builder
 	fmt.Fprintf(&b, "**%s — %s**\n\n", t.Title, t.Workload)
 	fmt.Fprintf(&b, "| config | cycles | seconds | speedup | %s | host-Mev/s |", t.MetricName)
 	sep := "\n|---|---|---|---|---|---|"
 	if shuf {
 		b.WriteString(" msgs | tup/msg |")
+		sep += "---|---|"
+	}
+	if rep {
+		b.WriteString(" tax% | dramx |")
 		sep += "---|---|"
 	}
 	if prof {
@@ -274,6 +306,9 @@ func (t *Table) Markdown() string {
 			r.Label, r.Cycles, r.Seconds, r.Speedup, r.Metric, r.HostMevS)
 		if shuf {
 			fmt.Fprintf(&b, " %d | %.2f |", r.Msgs, r.tupPerMsg())
+		}
+		if rep {
+			fmt.Fprintf(&b, " %.1f | %.2f |", r.TaxPct, r.DRAMx)
 		}
 		if prof {
 			fmt.Fprintf(&b, " %.2f | %.1f | %.1f |", r.Imbalance, 100*r.DRAMUtil, 100*r.InjUtil)

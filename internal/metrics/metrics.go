@@ -38,7 +38,7 @@ const DefaultInterval arch.Cycles = 8192
 
 // nKinds is the size of the per-message-kind tables: the arch.Kind*
 // constants plus one overflow bucket for unknown kinds from custom actors.
-const nKinds = 8
+const nKinds = 11
 
 // kindOther is the overflow bucket index.
 const kindOther = nKinds - 1
@@ -249,7 +249,7 @@ type Profile struct {
 	// Nodes holds one series per node, indexed by node.
 	Nodes []NodeSeries
 	// Kinds is the per-message-kind breakdown, indexed by the arch.Kind*
-	// constants; index 7 collects unknown kinds.
+	// constants; index 10 collects unknown kinds.
 	Kinds [nKinds]KindStat
 	// Fault is the cumulative injected-fault count (all-zero when fault
 	// injection was disabled).
@@ -289,6 +289,12 @@ func KindName(k int) string {
 		return "dram-fadd"
 	case arch.KindDRAMFetchAddF:
 		return "dram-faddf"
+	case arch.KindDRAMWriteHint:
+		return "dram-write-hint"
+	case arch.KindDRAMFetchAddHint:
+		return "dram-fadd-hint"
+	case arch.KindDRAMFetchAddFHint:
+		return "dram-faddf-hint"
 	case arch.KindControl:
 		return "control"
 	case arch.KindEventU:

@@ -93,6 +93,16 @@ type Options struct {
 	// stalled, node bandwidth degraded, and nodes fail-stopped. Nil
 	// disables injection at one nil-check per send/delivery.
 	Fault *fault.Plan
+	// DRAMFailover, when non-nil, is consulted before a DRAM-class
+	// message to a fail-stopped node is dead-lettered. It receives the
+	// message kind, first operand, the dead node and the delivery cycle;
+	// returning ok=true reroutes the message — with the returned kind,
+	// first operand and destination node's memory controller — one
+	// cross-node hop later, preserving the continuation. The replicated
+	// gasmem placement installs it to steer reads to a surviving replica
+	// and convert writes into hinted-handoff records; unreplicated
+	// regions return ok=false and keep the dead-letter behaviour.
+	DRAMFailover func(kind uint8, op0 uint64, deadNode int, at arch.Cycles) (newKind uint8, newOp0 uint64, node int, ok bool)
 	// FixedLookahead selects the legacy conservative window engine: one
 	// global window of MinCrossNodeLatency cycles per barrier, identical
 	// to the PR-1 execution schedule. The default (false) enables the
@@ -236,6 +246,8 @@ type Engine struct {
 	fault      *fault.Injector
 	faultFS    bool
 	faultStall bool
+	// failover is Options.DRAMFailover; nil when replication is off.
+	failover func(kind uint8, op0 uint64, deadNode int, at arch.Cycles) (uint8, uint64, int, bool)
 
 	// rec is the installed metrics recorder, nil when disabled.
 	rec *metrics.Recorder
@@ -320,6 +332,7 @@ func NewEngine(m arch.Machine, opts Options) (*Engine, error) {
 		nodeShard: make([]int32, m.Nodes),
 		rec:       opts.Metrics,
 		tr:        opts.Trace,
+		failover:  opts.DRAMFailover,
 	}
 	for node := 0; node < m.Nodes; node++ {
 		e.nodeShard[node] = int32(node * n / m.Nodes)
@@ -585,6 +598,50 @@ func (s *shard) processWindow(horizon arch.Cycles, abortOnStage bool) {
 		}
 		if e.fault != nil {
 			if e.faultFS && e.fault.NodeDead(e.nodeOfID[pm.Dst], pm.Deliver) {
+				if e.failover != nil && dramKind(pm.Kind) {
+					if nk, nop, node, ok := e.failover(pm.Kind, pm.Ops[0], int(e.nodeOfID[pm.Dst]), pm.Deliver); ok {
+						// Replicated region: instead of a dead letter, the
+						// message bounces one cross-node hop to a surviving
+						// replica (reads) or a hinted-handoff holder
+						// (writes), continuation preserved. The new message
+						// is sourced from the dead controller — only this
+						// shard processes its deliveries, so drawing its
+						// sequence number is deterministic and race-free.
+						m := *pm
+						h.release(mi)
+						s.stats.Faults.Failovers++
+						s.faultInstant("fault.failover", m.Dst, m.Deliver)
+						nm := m
+						nm.Kind = nk
+						nm.Ops[0] = nop
+						nm.Src = m.Dst
+						nm.Seq = st.seq
+						st.seq++
+						nm.Dst = arch.NetworkID(e.totalLanes + node)
+						nm.Deliver = m.Deliver + e.M.LatCrossNode
+						if st.floating == 0 && st.waitqLen() > 0 {
+							ni := st.waitqPop()
+							wm := &h.arena[ni]
+							if wm.Deliver < st.freeAt {
+								wm.Deliver = st.freeAt
+							}
+							wm.retry = true
+							st.floating++
+							h.pushIdx(ni)
+						}
+						if s.trace != nil {
+							// Root edge: the original edge's delivery died
+							// with the node; the bounce starts a new chain.
+							s.trace.Edge(metrics.EdgeRec{
+								Src: nm.Src, Seq: nm.Seq, ParentSrc: -1,
+								Dst: nm.Dst, SrcNode: e.nodeOfID[m.Dst], DstNode: e.nodeOfID[nm.Dst],
+								Kind: nk, SendAt: m.Deliver, Net: e.M.LatCrossNode, Deliver: nm.Deliver,
+							})
+						}
+						s.route(&nm, int(e.nodeShard[e.nodeOfID[nm.Dst]]))
+						continue
+					}
+				}
 				// Fail-stopped node: the message is dead-lettered, never
 				// executed. If it was the actor's floating retry and
 				// other messages are parked behind it, release the next
@@ -661,10 +718,15 @@ func (s *shard) processWindow(horizon arch.Cycles, abortOnStage bool) {
 			switch m.Kind {
 			case arch.KindDRAMRead:
 				s.stats.DRAMReads++
-			case arch.KindDRAMWrite, arch.KindDRAMFetchAdd, arch.KindDRAMFetchAddF:
+			case arch.KindDRAMWrite, arch.KindDRAMFetchAdd, arch.KindDRAMFetchAddF,
+				arch.KindDRAMWriteHint, arch.KindDRAMFetchAddHint, arch.KindDRAMFetchAddFHint:
 				// Fetch-adds (both integer and float) are read-modify-writes;
 				// they count as writes, so PageRank's float accumulation path
-				// is visible in Stats.DRAMWrites.
+				// is visible in Stats.DRAMWrites. Each executed message is one
+				// physical access: a k-way replicated write appears as k
+				// messages, one per replica's controller, so per-node DRAM
+				// accounting counts each physical copy exactly once. Hinted
+				// legs (queued at the handoff controller) count the same way.
 				s.stats.DRAMWrites++
 			}
 			if s.rec != nil {
@@ -896,6 +958,17 @@ func (v *Env) sendAt(t, extra arch.Cycles, dst arch.NetworkID, kind uint8, event
 		}
 		s.route(&d, dstShard)
 	}
+}
+
+// dramKind reports whether a message kind is a memory-controller request
+// eligible for replica failover at a fail-stopped destination.
+func dramKind(k uint8) bool {
+	switch k {
+	case arch.KindDRAMRead, arch.KindDRAMWrite, arch.KindDRAMFetchAdd, arch.KindDRAMFetchAddF,
+		arch.KindDRAMWriteHint, arch.KindDRAMFetchAddHint, arch.KindDRAMFetchAddFHint:
+		return true
+	}
+	return false
 }
 
 // route inserts a fully-built message into the destination shard's heap

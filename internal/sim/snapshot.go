@@ -51,7 +51,8 @@ type Snapshotter interface {
 
 const (
 	snapMagic   = "UDSIMCKP"
-	snapVersion = uint32(1)
+	// Version 2 added the Failovers fault counter to the stats record.
+	snapVersion = uint32(2)
 	snapEnd     = uint64(0x55444b5045444e44) // "UDKPEND" sentinel
 )
 
@@ -379,6 +380,7 @@ func (e *Engine) Checkpoint(w io.Writer) error {
 	sw.I64(st.Faults.Dupped)
 	sw.I64(st.Faults.Delayed)
 	sw.I64(st.Faults.DeadLetters)
+	sw.I64(st.Faults.Failovers)
 	sw.I64(st.Faults.Stalled)
 	// Heap-resident messages (including floating retries, excluding
 	// parked wait-queue entries), in the global total order.
@@ -546,6 +548,7 @@ func (e *Engine) Restore(r io.Reader) error {
 	snap.stats.Faults.Dupped = sr.I64()
 	snap.stats.Faults.Delayed = sr.I64()
 	snap.stats.Faults.DeadLetters = sr.I64()
+	snap.stats.Faults.Failovers = sr.I64()
 	snap.stats.Faults.Stalled = sr.I64()
 	nmsgs := sr.U64()
 	if sr.err == nil && nmsgs > 1<<40 {

@@ -11,6 +11,7 @@ package udweave
 // captured in running KVMSR jobs) are not checkpointable mid-job.
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -18,6 +19,29 @@ import (
 )
 
 const laneSnapVersion = 1
+
+// ErrNotQuiescent is the sentinel wrapped by lane Snapshot failures caused
+// by live, non-serializable runtime state: a KVMSR invocation mid-job
+// keeps closures (map/reduce functions, slot initializers) and unexported
+// runtime structs in thread and lane-local storage, none of which gob can
+// encode. Callers detect the condition with errors.Is(err,
+// ErrNotQuiescent) and either run the machine to quiescence or checkpoint
+// at the warm-start boundary instead.
+var ErrNotQuiescent = errors.New("lane holds live non-serializable state (checkpoint requires quiescence)")
+
+// NotQuiescentError carries the lane and the value that failed to encode.
+type NotQuiescentError struct {
+	Lane int32
+	What string
+	Err  error
+}
+
+func (e *NotQuiescentError) Error() string {
+	return fmt.Sprintf("udweave: lane %d %s: %v — %v; run to quiescence (or checkpoint at the warm-start boundary) before Machine.Checkpoint, and register concrete serializable types with gob.Register", e.Lane, e.What, e.Err, ErrNotQuiescent)
+}
+
+// Unwrap lets errors.Is match both ErrNotQuiescent and the gob cause.
+func (e *NotQuiescentError) Unwrap() []error { return []error{ErrNotQuiescent, e.Err} }
 
 // NumHandlers returns the number of registered event labels (including
 // the reserved ones). Machine-level checkpoints record it as a cheap
@@ -43,8 +67,7 @@ func (l *Lane) Snapshot(w *sim.SnapWriter) error {
 		w.U64(th.timeoutGen)
 		w.U64(uint64(th.timeoutLabel))
 		if err := w.Gob(th.State); err != nil {
-			return fmt.Errorf("lane %d thread %d state: %w (thread state must be gob-encodable; register concrete types with gob.Register)",
-				l.id, tid, err)
+			return &NotQuiescentError{Lane: int32(l.id), What: fmt.Sprintf("thread %d state", tid), Err: err}
 		}
 	}
 	w.U64(uint64(len(l.freeTIDs)))
@@ -60,13 +83,13 @@ func (l *Lane) Snapshot(w *sim.SnapWriter) error {
 	for _, k := range keys {
 		w.String(k)
 		if err := w.Gob(l.local[k]); err != nil {
-			return fmt.Errorf("lane %d local %q: %w", l.id, k, err)
+			return &NotQuiescentError{Lane: int32(l.id), What: fmt.Sprintf("local %q", k), Err: err}
 		}
 	}
 	w.U64(uint64(len(l.slots)))
 	for i, v := range l.slots {
 		if err := w.Gob(v); err != nil {
-			return fmt.Errorf("lane %d slot %d: %w", l.id, i, err)
+			return &NotQuiescentError{Lane: int32(l.id), What: fmt.Sprintf("slot %d", i), Err: err}
 		}
 	}
 	return w.Err()

@@ -488,24 +488,75 @@ func (c *Ctx) SendEventAfter(delay arch.Cycles, evw uint64, cont uint64, ops ...
 
 // DRAMRead issues a split-phase read of nWords (max 8) 64-bit words from
 // global memory at va; the words arrive as the operands of retEvw —
-// the send_dram_read intrinsic.
+// the send_dram_read intrinsic. Under replicated placement the read is
+// quorum-of-one: it targets the home node's controller unless the home
+// fail-stops during the run, in which case it targets the first surviving
+// replica (a fail-stopped copy cannot diverge, so one live copy is
+// authoritative).
 func (c *Ctx) DRAMRead(va gasmem.VA, nWords int, retEvw uint64) {
 	if nWords <= 0 || nWords > sim.MaxOperands {
 		panic(fmt.Sprintf("udweave: DRAMRead of %d words", nWords))
 	}
 	c.env.Charge(c.lane.p.M.CostSendDRAM)
-	ctrl := c.lane.p.M.MemCtrlID(c.lane.p.GAS.NodeOf(va))
-	c.env.Send(ctrl, arch.KindDRAMRead, 0, retEvw, va, uint64(nWords))
+	g := c.lane.p.GAS
+	var node int
+	if g.Replicated() {
+		node = g.ReadTarget(va)
+	} else {
+		node = g.NodeOf(va)
+	}
+	c.env.Send(c.lane.p.M.MemCtrlID(node), arch.KindDRAMRead, 0, retEvw, va, uint64(nWords))
+}
+
+// dramFanout sends one message per replica of va: the coordinator (first
+// replica alive at issue time) carries the continuation and owns the
+// response; the remaining legs are fire-and-forget copies. Legs whose
+// replica node already fail-stopped become hinted-handoff records (kind
+// bumped to its hint variant, first operand packing the intended node).
+// Each leg charges the DRAM send cost: replication's latency tax on the
+// issuing lane.
+func (c *Ctx) dramFanout(va gasmem.VA, kind uint8, hintKind uint8, cont uint64, vals ...uint64) {
+	g := c.lane.p.GAS
+	m := &c.lane.p.M
+	var tg [gasmem.MaxRep]gasmem.WriteTarget
+	n := g.WriteTargets(va, int64(c.env.Now()), &tg)
+	ops := make([]uint64, 1+len(vals))
+	copy(ops[1:], vals)
+	for i := 0; i < n; i++ {
+		c.env.Charge(m.CostSendDRAM)
+		k, legCont := kind, IGNRCONT
+		if tg[i].Hint {
+			k = hintKind
+		}
+		if i == 0 {
+			legCont = cont
+		}
+		ops[0] = tg[i].Op0
+		c.env.Send(m.MemCtrlID(tg[i].Node), k, 0, legCont, ops...)
+	}
 }
 
 // DRAMWrite issues a split-phase write of vals (max 7 words) to va; ackEvw
-// (or IGNRCONT) receives the acknowledgment.
+// (or IGNRCONT) receives the acknowledgment. Replicated regions fan the
+// write out to every copy; multi-word writes must then stay within one
+// distribution block, since each leg lands on a single replica stripe.
 func (c *Ctx) DRAMWrite(va gasmem.VA, ackEvw uint64, vals ...uint64) {
 	if len(vals) == 0 || len(vals) > sim.MaxOperands-1 {
 		panic(fmt.Sprintf("udweave: DRAMWrite of %d words", len(vals)))
 	}
+	g := c.lane.p.GAS
+	if g.Replicated() {
+		if r := g.RegionOf(va); r != nil && r.Rep > 1 {
+			last := va + uint64(len(vals)-1)*gasmem.WordBytes
+			if (va-r.Base)/r.BS != (last-r.Base)/r.BS {
+				panic(fmt.Sprintf("udweave: replicated DRAMWrite of %d words at VA 0x%x crosses a %d-byte block boundary", len(vals), va, r.BS))
+			}
+		}
+		c.dramFanout(va, arch.KindDRAMWrite, arch.KindDRAMWriteHint, ackEvw, vals...)
+		return
+	}
 	c.env.Charge(c.lane.p.M.CostSendDRAM)
-	ctrl := c.lane.p.M.MemCtrlID(c.lane.p.GAS.NodeOf(va))
+	ctrl := c.lane.p.M.MemCtrlID(g.NodeOf(va))
 	ops := append([]uint64{va}, vals...)
 	c.env.Send(ctrl, arch.KindDRAMWrite, 0, ackEvw, ops...)
 }
@@ -513,18 +564,29 @@ func (c *Ctx) DRAMWrite(va gasmem.VA, ackEvw uint64, vals ...uint64) {
 // DRAMFetchAdd atomically adds delta to the word at va; retEvw receives the
 // prior value. This models a memory-side atomic and exists for ablation —
 // the paper implements fetch-and-add in software (see
-// collections.CombiningCache).
+// collections.CombiningCache). Replicated regions apply the add on every
+// copy; the coordinator's prior value answers retEvw.
 func (c *Ctx) DRAMFetchAdd(va gasmem.VA, delta uint64, retEvw uint64) {
+	g := c.lane.p.GAS
+	if g.Replicated() {
+		c.dramFanout(va, arch.KindDRAMFetchAdd, arch.KindDRAMFetchAddHint, retEvw, delta)
+		return
+	}
 	c.env.Charge(c.lane.p.M.CostSendDRAM)
-	ctrl := c.lane.p.M.MemCtrlID(c.lane.p.GAS.NodeOf(va))
+	ctrl := c.lane.p.M.MemCtrlID(g.NodeOf(va))
 	c.env.Send(ctrl, arch.KindDRAMFetchAdd, 0, retEvw, va, delta)
 }
 
 // DRAMFetchAddF is DRAMFetchAdd over float64 bit patterns (ablation
 // against the software combining cache).
 func (c *Ctx) DRAMFetchAddF(va gasmem.VA, delta float64, retEvw uint64) {
+	g := c.lane.p.GAS
+	if g.Replicated() {
+		c.dramFanout(va, arch.KindDRAMFetchAddF, arch.KindDRAMFetchAddFHint, retEvw, FloatBits(delta))
+		return
+	}
 	c.env.Charge(c.lane.p.M.CostSendDRAM)
-	ctrl := c.lane.p.M.MemCtrlID(c.lane.p.GAS.NodeOf(va))
+	ctrl := c.lane.p.M.MemCtrlID(g.NodeOf(va))
 	c.env.Send(ctrl, arch.KindDRAMFetchAddF, 0, retEvw, va, FloatBits(delta))
 }
 

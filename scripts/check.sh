@@ -28,3 +28,11 @@ go test -run XX -bench BenchmarkKVMSRShuffle -benchtime=5x .
 # workload the adaptive scheduler must not be slower than the legacy
 # fixed window it replaced (best-of-3 wall clock each).
 UPDOWN_BENCH_SMOKE=1 go test -run TestAdaptiveLookaheadSpeedup -count=1 ./internal/sim/
+
+# Replication smoke: figchaos -rep fail-stops a data-carrying node at
+# k=2 mid-run and exits nonzero unless the faulted outputs match the
+# fault-free run with zero dead letters and an in-place bit-exact heal;
+# the fig12 -reps extension must measure a write fan-out (dramx > 1).
+go run ./cmd/figchaos -rep 2 -scale 8
+go run ./cmd/fig12 -scale 10 -mem 4 -compute 4 -reps 2 \
+    | awk '/^k=2/ { if ($8 <= 1.0) { print "fig12 k=2 dramx <= 1: no write fan-out measured"; exit 1 } found=1 } END { exit !found }'

@@ -105,6 +105,16 @@ type Config struct {
 	// application-chosen combiners pre-reducing same-key tuples before
 	// they reach the network. Nil keeps one message per tuple.
 	Coalesce *kvmsr.Coalesce
+	// Replication, when > 1, is the default k-way replicated placement
+	// factor for every DRAMmalloc on this machine (clamped per
+	// allocation to its node count): each block is stored on k
+	// consecutive ring nodes, writes fan out to all copies, reads fall
+	// over past fail-stopped nodes, and writes aimed at a dead node are
+	// queued as hinted handoff for Machine.Backfill. Composes with a
+	// Fault plan containing fail-stops: the run completes with correct
+	// output and no data loss as long as fewer than k replicas of any
+	// block fail. 0 or 1 keeps classic single-copy placement.
+	Replication int
 	// FixedLookahead selects the legacy conservative window engine (one
 	// global window of MinCrossNodeLatency cycles per barrier) instead of
 	// the default adaptive topology-aware scheduler. Results are
@@ -155,6 +165,50 @@ func New(cfg Config) (*Machine, error) {
 		a = arch.DefaultMachine(cfg.Nodes)
 	}
 	gas := gasmem.New(a.Nodes, a.DRAMBytesPerNode)
+	if cfg.Replication > 1 {
+		gas.SetReplication(cfg.Replication)
+	}
+	var failover func(kind uint8, op0 uint64, deadNode int, at arch.Cycles) (uint8, uint64, int, bool)
+	if cfg.Fault != nil {
+		// Mirror the plan's fail-stops into the address space so
+		// placement decisions (read fall-over, write fan-out, hinted
+		// handoff) can consult node liveness, and install the engine
+		// failover hook that catches DRAM messages already in flight
+		// when their destination dies.
+		for _, fs := range cfg.Fault.FailStops {
+			gas.SetFailStop(int(fs.Node), int64(fs.At))
+		}
+		if cfg.Replication > 1 {
+			failover = func(kind uint8, op0 uint64, deadNode int, at arch.Cycles) (uint8, uint64, int, bool) {
+				switch kind {
+				case arch.KindDRAMRead:
+					if n, ok := gas.FailoverRead(op0, deadNode); ok {
+						return kind, op0, n, true
+					}
+				case arch.KindDRAMWrite:
+					if n, h, ok := gas.HandoffTarget(op0, deadNode); ok {
+						return arch.KindDRAMWriteHint, h, n, true
+					}
+				case arch.KindDRAMFetchAdd:
+					if n, h, ok := gas.HandoffTarget(op0, deadNode); ok {
+						return arch.KindDRAMFetchAddHint, h, n, true
+					}
+				case arch.KindDRAMFetchAddF:
+					if n, h, ok := gas.HandoffTarget(op0, deadNode); ok {
+						return arch.KindDRAMFetchAddFHint, h, n, true
+					}
+				case arch.KindDRAMWriteHint, arch.KindDRAMFetchAddHint, arch.KindDRAMFetchAddFHint:
+					// A hint whose handoff holder also died: re-handoff,
+					// keeping the originally intended node in the header.
+					va, intended := gasmem.SplitHintOp(op0)
+					if n, h, ok := gas.HandoffTarget(va, intended); ok {
+						return kind, h, n, true
+					}
+				}
+				return 0, 0, 0, false
+			}
+		}
+	}
 	prog := udweave.NewProgram(a, gas)
 	var rec *metrics.Recorder
 	if cfg.Metrics != nil {
@@ -171,6 +225,7 @@ func New(cfg Config) (*Machine, error) {
 		Metrics:        rec,
 		Trace:          tr,
 		Fault:          cfg.Fault,
+		DRAMFailover:   failover,
 		FixedLookahead: cfg.FixedLookahead,
 	})
 	if err != nil {
@@ -201,6 +256,69 @@ func (m *Machine) StartWithCont(evw, cont uint64, ops ...uint64) {
 
 // Run simulates to quiescence.
 func (m *Machine) Run() (Stats, error) { return m.Engine.Run() }
+
+// BackfillStats reports what Machine.Backfill did.
+type BackfillStats struct {
+	// Hints is the number of hinted-handoff records drained into the
+	// backfilled node; HintWords the data words they carried.
+	Hints     int
+	HintWords int
+	// RepairedWords counts words the anti-entropy pass had to change
+	// after the hint drain — zero when hinted handoff alone restored the
+	// node byte-exactly.
+	RepairedWords uint64
+}
+
+// Backfill restores a fail-stopped node's replica stripes between runs.
+// With spare >= 0 the spare takes over every ring position the dead node
+// occupied (Dynamo-style permanent handoff: fresh stripes on the spare);
+// with spare < 0 the dead node recovers in place, keeping the stripe
+// contents it held at fail-stop. Either way the queued hinted-handoff
+// records for the dead node are drained, in deterministic controller
+// order, into the backfill target, and an anti-entropy pass copies any
+// remaining divergence from surviving peer replicas. The target then
+// serves reads again for host-side access and subsequent machines warm-
+// started from this GAS.
+//
+// Backfill is a host-side operation: call it between runs. It cannot
+// resurrect the node within the simulated run that killed it — the fault
+// plan is immutable for a run — but a checkpoint taken afterwards carries
+// the healed, byte-canonical stores.
+func (m *Machine) Backfill(dead, spare int) (BackfillStats, error) {
+	var st BackfillStats
+	target := dead
+	if spare >= 0 {
+		if err := m.GAS.Reassign(dead, spare); err != nil {
+			return st, err
+		}
+		target = spare
+	}
+	for _, c := range m.Ctrls {
+		st.Hints += c.DrainHints(dead, func(h dram.Hint) {
+			switch h.Kind {
+			case arch.KindDRAMWriteHint:
+				for i := 0; i < int(h.NOps); i++ {
+					m.GAS.NodeWriteU64(target, h.VA+uint64(i)*gasmem.WordBytes, h.Ops[i])
+				}
+				st.HintWords += int(h.NOps)
+			case arch.KindDRAMFetchAddHint:
+				old := m.GAS.NodeReadU64(target, h.VA)
+				m.GAS.NodeWriteU64(target, h.VA, old+h.Ops[0])
+				st.HintWords++
+			case arch.KindDRAMFetchAddFHint:
+				old := m.GAS.NodeReadU64(target, h.VA)
+				sum := udweave.FloatBits(udweave.BitsFloat(old) + udweave.BitsFloat(h.Ops[0]))
+				m.GAS.NodeWriteU64(target, h.VA, sum)
+				st.HintWords++
+			}
+		})
+	}
+	st.RepairedWords = m.GAS.Repair(target)
+	if spare < 0 {
+		m.GAS.Recover(dead)
+	}
+	return st, nil
+}
 
 // Seconds converts simulated cycles to seconds at the machine clock.
 func (m *Machine) Seconds(c Cycles) float64 { return m.Arch.Seconds(c) }
