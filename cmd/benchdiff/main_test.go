@@ -1,0 +1,132 @@
+package main
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestFlattenVariantPreference(t *testing.T) {
+	raw := json.RawMessage(`{
+		"EnginePingPong": {
+			"shards=1": {"before": 5.8, "after": 9.7, "speedup": 1.67},
+			"shards=4": {"adaptive": 11.1}
+		},
+		"EngineSparseLane": {
+			"shards=2": {"fixed": 3.25}
+		},
+		"Scalar": 2.5
+	}`)
+	got := flatten(raw)
+	want := map[string]float64{
+		"EnginePingPong/shards=1":   9.7,  // "after" wins over before/speedup
+		"EnginePingPong/shards=4":   11.1, // "adaptive" accepted
+		"EngineSparseLane/shards=2": 3.25, // sole numeric leaf
+		"Scalar":                    2.5,  // bare number
+	}
+	if len(got) != len(want) {
+		t.Fatalf("flatten: got %d keys %v, want %d", len(got), got, len(want))
+	}
+	for k, w := range want {
+		if g, ok := got[k]; !ok || !almost(g, w) {
+			t.Errorf("flatten[%q] = %v (present=%v), want %v", k, g, ok, w)
+		}
+	}
+}
+
+func TestFlattenRecursesIntoAmbiguousVariants(t *testing.T) {
+	// A multi-variant map with no preferred key is not a leaf: each
+	// variant becomes its own comparable configuration.
+	raw := json.RawMessage(`{"X": {"shards=1": {"red": 1.0, "blue": 2.0}}}`)
+	got := flatten(raw)
+	if len(got) != 2 || !almost(got["X/shards=1/red"], 1) || !almost(got["X/shards=1/blue"], 2) {
+		t.Fatalf("want per-variant keys, got %v", got)
+	}
+}
+
+func TestPickSelectors(t *testing.T) {
+	bf := &benchFile{Entries: []entry{
+		{Date: "2026-08-06", Description: "baseline sweep"},
+		{Date: "2026-08-08", Description: "adaptive lookahead"},
+		{Date: "2026-08-08", Description: "replication chaos"},
+	}}
+	cases := []struct {
+		sel  string
+		want int
+	}{
+		{"0", 0},
+		{"2", 2},
+		{"-1", 2},
+		{"-3", 0},
+		{"2026-08-06", 0},
+		{"2026-08-08", 2}, // newest match wins
+		{"adaptive", 1},
+	}
+	for _, c := range cases {
+		got, err := bf.pick(c.sel)
+		if err != nil {
+			t.Errorf("pick(%q): %v", c.sel, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("pick(%q) = %d, want %d", c.sel, got, c.want)
+		}
+	}
+	for _, bad := range []string{"3", "-4", "nonesuch"} {
+		if _, err := bf.pick(bad); err == nil {
+			t.Errorf("pick(%q): want error", bad)
+		}
+	}
+}
+
+func TestDiffWorstRegression(t *testing.T) {
+	oldFlat := map[string]float64{"a": 10, "b": 20, "only-old": 5}
+	newFlat := map[string]float64{"a": 12, "b": 15, "only-new": 7}
+	rows, worst := diff(oldFlat, newFlat)
+	if len(rows) != 2 {
+		t.Fatalf("diff rows = %d, want 2 (common keys only): %v", len(rows), rows)
+	}
+	if rows[0].name != "a" || rows[1].name != "b" {
+		t.Fatalf("rows not sorted by name: %v", rows)
+	}
+	if !almost(rows[0].pct, 20) || !almost(rows[1].pct, -25) {
+		t.Fatalf("pct deltas = %+v", rows)
+	}
+	if !almost(worst, -25) {
+		t.Fatalf("worst = %v, want -25", worst)
+	}
+}
+
+func TestParseBenchOutput(t *testing.T) {
+	out := `goos: linux
+goarch: amd64
+pkg: updown/internal/sim
+BenchmarkEnginePingPong/shards=1-4         	      20	         0 ns/op	         9.70 Mev/s
+BenchmarkEnginePingPong/shards=4-4         	      20	         0 ns/op	        11.13 Mev/s
+BenchmarkEngineCrossNodeStorm/shards=2-16  	       5	         0 ns/op	         3.541 Mev/s
+PASS
+ok  	updown/internal/sim	4.2s
+`
+	got, err := parseBenchOutput(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"EnginePingPong/shards=1":       9.70,
+		"EnginePingPong/shards=4":       11.13,
+		"EngineCrossNodeStorm/shards=2": 3.541,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d rates %v, want %d", len(got), got, len(want))
+	}
+	for k, w := range want {
+		if !almost(got[k], w) {
+			t.Errorf("rate[%q] = %v, want %v", k, got[k], w)
+		}
+	}
+	if _, err := parseBenchOutput("PASS\nok\n"); err == nil {
+		t.Error("no benchmark lines: want error")
+	}
+}

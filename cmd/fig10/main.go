@@ -6,7 +6,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"strconv"
 	"strings"
 
@@ -23,6 +25,7 @@ func main() {
 	markdown := flag.Bool("markdown", false, "emit GitHub-markdown tables")
 	critpath := flag.Bool("critpath", false, "extract the causal critical path per run and add the crit% column")
 	coalesce := flag.Bool("coalesce", false, "opt into the coalescing shuffle (ingestion is map-only, so this is a no-op pass-through)")
+	progress := flag.Bool("progress", false, "print per-configuration progress lines to stderr while the sweep runs")
 	flag.Parse()
 
 	ns, err := harness.ParseNodeList(*nodes)
@@ -41,6 +44,7 @@ func main() {
 		BaseRecords: *records, Multipliers: multipliers, Nodes: ns,
 		BlockBytes: *block, Seed: *seed, Shards: *shards,
 		CritPath: *critpath, Coalesce: *coalesce,
+		Progress: progressDest(*progress),
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -52,4 +56,12 @@ func main() {
 			fmt.Println(t.Format())
 		}
 	}
+}
+
+// progressDest maps the -progress flag to the sweep's progress writer.
+func progressDest(on bool) io.Writer {
+	if !on {
+		return nil
+	}
+	return os.Stderr
 }

@@ -7,7 +7,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"updown/internal/harness"
 )
@@ -22,6 +24,7 @@ func main() {
 	reps := flag.String("reps", "", "replication factors for the replication-tax extension (e.g. 2,3; empty = off)")
 	markdown := flag.Bool("markdown", false, "emit GitHub-markdown tables")
 	critpath := flag.Bool("critpath", false, "extract the causal critical path per run and add the crit% column")
+	progress := flag.Bool("progress", false, "print per-configuration progress lines to stderr while the sweep runs")
 	flag.Parse()
 
 	ms, err := harness.ParseNodeList(*mem)
@@ -38,6 +41,7 @@ func main() {
 		ComputeNodes: *compute, MemNodes: ms, Scale: *scale,
 		DRAMBytesPerCycle: *bw, Seed: *seed, Shards: *shards,
 		CritPath: *critpath, Reps: ks,
+		Progress: progressDest(*progress),
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -49,4 +53,12 @@ func main() {
 			fmt.Println(t.Format())
 		}
 	}
+}
+
+// progressDest maps the -progress flag to the sweep's progress writer.
+func progressDest(on bool) io.Writer {
+	if !on {
+		return nil
+	}
+	return os.Stderr
 }

@@ -5,7 +5,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"strings"
 	"time"
 
@@ -25,6 +27,7 @@ func main() {
 	markdown := flag.Bool("markdown", false, "emit GitHub-markdown tables")
 	critpath := flag.Bool("critpath", false, "extract the causal critical path per run and add the crit% column")
 	coalesce := flag.Bool("coalesce", false, "use the coalescing KVMSR shuffle and add the msgs/tup-per-msg columns")
+	progress := flag.Bool("progress", false, "print per-configuration progress lines to stderr while the sweep runs")
 	flag.Parse()
 
 	ns, err := harness.ParseNodeList(*nodes)
@@ -35,6 +38,7 @@ func main() {
 		Scale: *scale, Nodes: ns, Presets: strings.Split(*presets, ","),
 		Seed: *seed, Shards: *shards, Validate: *validate,
 		CritPath: *critpath, Coalesce: *coalesce,
+		Progress: progressDest(*progress),
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -56,4 +60,12 @@ func main() {
 		fmt.Printf("host multicore baseline: %d edges in %.4fs = %.4f GTEPS\n",
 			g.NumEdges(), el, float64(g.NumEdges())/el/1e9)
 	}
+}
+
+// progressDest maps the -progress flag to the sweep's progress writer.
+func progressDest(on bool) io.Writer {
+	if !on {
+		return nil
+	}
+	return os.Stderr
 }

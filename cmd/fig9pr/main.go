@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"strings"
@@ -33,6 +34,7 @@ func main() {
 	critpath := flag.Bool("critpath", false, "extract the causal critical path per run and add the crit% column")
 	coalesce := flag.Bool("coalesce", false, "use the coalescing KVMSR shuffle and add the msgs/tup-per-msg columns")
 	combine := flag.Bool("combine", false, "with -coalesce: pre-reduce same-key contributions in the pack buffers")
+	progress := flag.Bool("progress", false, "print per-configuration progress lines to stderr while the sweep runs")
 	flag.Parse()
 
 	if *combine && !*coalesce {
@@ -46,6 +48,7 @@ func main() {
 		Scale: *scale, Nodes: ns, Presets: strings.Split(*presets, ","),
 		Iterations: *iters, Seed: *seed, Shards: *shards, Validate: *validate,
 		CritPath: *critpath, Coalesce: *coalesce, Combine: *combine,
+		Progress: progressDest(*progress),
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -61,6 +64,14 @@ func main() {
 		reportHostPR(*scale, *seed, *iters)
 	}
 	_ = os.Stdout
+}
+
+// progressDest maps the -progress flag to the sweep's progress writer.
+func progressDest(on bool) io.Writer {
+	if !on {
+		return nil
+	}
+	return os.Stderr
 }
 
 // reportHostPR measures the conventional-multicore comparator, the stand-in

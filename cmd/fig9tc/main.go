@@ -5,7 +5,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"strings"
 
 	"updown/internal/harness"
@@ -22,6 +24,7 @@ func main() {
 	critpath := flag.Bool("critpath", false, "extract the causal critical path per run and add the crit% column")
 	coalesce := flag.Bool("coalesce", false, "use the coalescing KVMSR shuffle and add the msgs/tup-per-msg columns")
 	combine := flag.Bool("combine", false, "with -coalesce: install the keep-first pair combiner (exercises the combining path; pair keys are unique)")
+	progress := flag.Bool("progress", false, "print per-configuration progress lines to stderr while the sweep runs")
 	flag.Parse()
 
 	if *combine && !*coalesce {
@@ -35,6 +38,7 @@ func main() {
 		Scale: *scale, Nodes: ns, Presets: strings.Split(*presets, ","),
 		Seed: *seed, Shards: *shards, Validate: *validate,
 		CritPath: *critpath, Coalesce: *coalesce, Combine: *combine,
+		Progress: progressDest(*progress),
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -46,4 +50,12 @@ func main() {
 			fmt.Println(t.Format())
 		}
 	}
+}
+
+// progressDest maps the -progress flag to the sweep's progress writer.
+func progressDest(on bool) io.Writer {
+	if !on {
+		return nil
+	}
+	return os.Stderr
 }

@@ -21,7 +21,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"strconv"
 	"strings"
 
@@ -45,6 +47,7 @@ func main() {
 	apps := flag.String("apps", "", "with -rep, comma-separated workload subset of bfs,pagerank,tc (default all)")
 	critpath := flag.Bool("critpath", false, "extract the causal critical path per row and add the crit% column")
 	markdown := flag.Bool("markdown", false, "emit a GitHub-markdown table")
+	progress := flag.Bool("progress", false, "print per-run progress lines to stderr while the sweep runs")
 	flag.Parse()
 
 	if *rep > 1 {
@@ -57,6 +60,7 @@ func main() {
 		tb, err := harness.ChaosReplicated(harness.ChaosRepOptions{
 			Scale: *scale, Rep: *rep, Shards: *shards, Seed: *seed,
 			Spare: *spare, Apps: sel,
+			Progress: progressDest(*progress),
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -89,6 +93,7 @@ func main() {
 		DupProb: *dup, DelayProb: *delay, DelayCycles: arch.Cycles(*delayCycles),
 		Seed: *seed, FaultSeed: *faultSeed, Shards: *shards,
 		FailStop: *failstop, CritPath: *critpath,
+		Progress: progressDest(*progress),
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -98,4 +103,12 @@ func main() {
 	} else {
 		fmt.Print(tb.Format())
 	}
+}
+
+// progressDest maps the -progress flag to the sweep's progress writer.
+func progressDest(on bool) io.Writer {
+	if !on {
+		return nil
+	}
+	return os.Stderr
 }

@@ -60,12 +60,15 @@ import (
 	"bytes"
 	"encoding/binary"
 	"encoding/gob"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"hash/fnv"
 	"io"
 	"log"
 	"os"
+	"path/filepath"
 
 	"updown"
 	"updown/internal/apps/bfs"
@@ -79,6 +82,8 @@ import (
 	"updown/internal/graph"
 	"updown/internal/kvmsr"
 	"updown/internal/metrics"
+	"updown/internal/sim"
+	"updown/internal/telemetry"
 	"updown/internal/tform"
 )
 
@@ -114,6 +119,9 @@ func main() {
 	checksum := flag.Bool("checksum", false, "print a deterministic application-result checksum")
 	ckptPath := flag.String("checkpoint", "", "write a warm-start checkpoint (loaded graph + machine state) to FILE after graph load, then run (pr|bfs|tc)")
 	restorePath := flag.String("restore", "", "restore a -checkpoint FILE instead of generating and loading the graph, then run")
+	serveAddr := flag.String("serve", "", "serve live telemetry on ADDR (e.g. :9187): /metrics (Prometheus), /status (JSON), /profile (partial profile), /debug/pprof")
+	watchdog := flag.Duration("watchdog", 0, "dump goroutine stacks + partial profile to -dump-dir when no window advances for this long (0 = off)")
+	dumpDir := flag.String("dump-dir", ".", "directory for watchdog and SIGUSR1 partial-artifact dumps")
 	flag.Parse()
 
 	sf := simFlags{
@@ -182,14 +190,37 @@ func main() {
 	if *profile || *tracePath != "" {
 		mopts = &metrics.Options{Interval: updown.Cycles(*interval)}
 	}
+	// The CLI always attaches the telemetry plane so signal-driven dumps
+	// and orderly SIGINT stops work on every run; the per-window cost is a
+	// nil-check plus one clock read, invisible next to a real workload.
+	// HTTP exposition and the watchdog stay opt-in.
+	pub := &telemetry.Publisher{Logf: func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "updown-sim: "+format+"\n", args...)
+	}}
 	m, err := updown.New(updown.Config{
 		Arch: &ar, Shards: *shards, MaxTime: 1 << 46,
 		Metrics: mopts, Trace: fl.traceOptions(),
-		Fault: plan, Resilience: res, Coalesce: coal,
+		Telemetry: pub,
+		Fault:     plan, Resilience: res, Coalesce: coal,
 		Replication: *rep,
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	pub.Dump = func(s *telemetry.Snapshot) error { return writeDump(*dumpDir, m, s) }
+	installSignals(pub)
+	if *serveAddr != "" {
+		srv, err := telemetry.Serve(*serveAddr, pub)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "updown-sim: telemetry on http://%s (/metrics /status /profile /debug/pprof)\n", *serveAddr)
+	}
+	if *watchdog > 0 {
+		wd := &telemetry.Watchdog{P: pub, Stall: *watchdog, Dir: *dumpDir, Logf: pub.Logf}
+		wd.Start()
+		defer wd.Stop()
 	}
 
 	// resTotals is filled by apps that ran a resilient shuffle; sum is the
@@ -239,42 +270,48 @@ func main() {
 			must(err)
 			a.InitValues()
 			stats, err := a.Run()
-			must(err)
+			partial := runPartial(err)
 			report(m, stats, a.Elapsed())
-			fmt.Printf("updates: %d (%.4f GUPS)\n", edges*uint64(*iters),
-				float64(edges*uint64(*iters))/m.Seconds(a.Elapsed())/1e9)
-			resTotals = a.ResilienceTotals()
-			if *checksum {
-				vals := make([]uint64, 0, len(a.Values()))
-				for _, r := range a.Values() {
-					vals = append(vals, updown.FloatBits(r))
+			if !partial {
+				fmt.Printf("updates: %d (%.4f GUPS)\n", edges*uint64(*iters),
+					float64(edges*uint64(*iters))/m.Seconds(a.Elapsed())/1e9)
+				resTotals = a.ResilienceTotals()
+				if *checksum {
+					vals := make([]uint64, 0, len(a.Values()))
+					for _, r := range a.Values() {
+						vals = append(vals, updown.FloatBits(r))
+					}
+					sum, haveSum = digest(vals...), true
 				}
-				sum, haveSum = digest(vals...), true
 			}
 		case "bfs":
 			a, err := bfs.New(m, dg, bfs.Config{Root: uint32(*root), Lanes: appLanes})
 			must(err)
 			a.InitValues()
 			stats, err := a.Run()
-			must(err)
+			partial := runPartial(err)
 			report(m, stats, a.Elapsed())
-			fmt.Printf("rounds: %d, traversed edges: %d (%.4f GTEPS)\n",
-				a.Rounds, a.Traversed, float64(a.Traversed)/m.Seconds(a.Elapsed())/1e9)
-			resTotals = a.ResilienceTotals()
-			if *checksum {
-				sum = digest(append([]uint64{uint64(a.Rounds), a.Traversed}, a.Distances()...)...)
-				haveSum = true
+			if !partial {
+				fmt.Printf("rounds: %d, traversed edges: %d (%.4f GTEPS)\n",
+					a.Rounds, a.Traversed, float64(a.Traversed)/m.Seconds(a.Elapsed())/1e9)
+				resTotals = a.ResilienceTotals()
+				if *checksum {
+					sum = digest(append([]uint64{uint64(a.Rounds), a.Traversed}, a.Distances()...)...)
+					haveSum = true
+				}
 			}
 		case "tc":
 			a, err := tc.New(m, dg, tc.Config{Lanes: appLanes, Combine: *combine})
 			must(err)
 			stats, err := a.Run()
-			must(err)
+			partial := runPartial(err)
 			report(m, stats, a.Elapsed())
-			fmt.Printf("intersection total: %d (%d triangles)\n", a.Total(), a.Triangles())
-			resTotals = a.ResilienceTotals()
-			if *checksum {
-				sum, haveSum = digest(a.Total()), true
+			if !partial {
+				fmt.Printf("intersection total: %d (%d triangles)\n", a.Total(), a.Triangles())
+				resTotals = a.ResilienceTotals()
+				if *checksum {
+					sum, haveSum = digest(a.Total()), true
+				}
 			}
 		}
 	case "ingest":
@@ -282,13 +319,15 @@ func main() {
 		a, err := ingest.New(m, data, ingest.Config{Lanes: appLanes})
 		must(err)
 		stats, err := a.Run()
-		must(err)
+		partial := runPartial(err)
 		report(m, stats, a.Elapsed())
-		fmt.Printf("records: %d, phase1 %d cycles, phase2 %d cycles (%.2f MRec/s)\n",
-			a.Records, a.Phase1(), a.Phase2(),
-			float64(a.Records)/m.Seconds(a.Elapsed())/1e6)
-		if *checksum {
-			sum, haveSum = digest(a.Records), true
+		if !partial {
+			fmt.Printf("records: %d, phase1 %d cycles, phase2 %d cycles (%.2f MRec/s)\n",
+				a.Records, a.Phase1(), a.Phase2(),
+				float64(a.Records)/m.Seconds(a.Elapsed())/1e6)
+			if *checksum {
+				sum, haveSum = digest(a.Records), true
+			}
 		}
 	case "match":
 		_, recs := tform.GenCSV(*records, 4096, 4, *seed)
@@ -296,10 +335,12 @@ func main() {
 		a, err := match.New(m, recs, patterns, match.Config{Interarrival: 40})
 		must(err)
 		stats, err := a.Run()
-		must(err)
+		partial := runPartial(err)
 		report(m, stats, 0)
-		fmt.Printf("processed: %d, matches: %d, avg latency %.0f cycles (%.2f us)\n",
-			a.Processed(), a.Matches(), a.AvgLatency(), a.AvgLatency()/2e3)
+		if !partial {
+			fmt.Printf("processed: %d, matches: %d, avg latency %.0f cycles (%.2f us)\n",
+				a.Processed(), a.Matches(), a.AvgLatency(), a.AvgLatency()/2e3)
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "unknown app %q\n", *app)
 		os.Exit(2)
@@ -345,6 +386,89 @@ func main() {
 			must(m.Trace.Flows().WriteText(os.Stdout, m.Arch))
 		}
 	}
+	if exitCode != 0 {
+		os.Exit(exitCode)
+	}
+}
+
+// exitCode is the process status for tolerated partial runs: 3 after a
+// simulated-time timeout, 130 after a requested (SIGINT) interrupt. Set
+// by runPartial, applied after the observability artifacts are written.
+var exitCode int
+
+// runPartial classifies an application Run error. nil means the run
+// completed. A timeout or a telemetry-requested stop makes the run
+// partial: the machine statistics and every recorded artifact (profile,
+// trace, dumps) are still coherent — the engine stopped at a quiesced
+// window boundary — so the caller reports them and skips only the
+// application-level results, which never materialized. Any other error
+// is fatal.
+func runPartial(err error) bool {
+	if err == nil {
+		return false
+	}
+	switch {
+	case errors.Is(err, sim.ErrTimeout):
+		exitCode = 3
+	case errors.Is(err, sim.ErrInterrupted):
+		exitCode = 130
+	default:
+		log.Fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, "updown-sim:", err)
+	fmt.Fprintln(os.Stderr, "updown-sim: partial run: reporting machine stats and artifacts, skipping application results")
+	return true
+}
+
+// writeDump writes the partial-run observability artifacts for a
+// SIGUSR1 / Publisher.RequestDump request into dir: the latest snapshot
+// as dump-status.json, the partial profile as dump-profile.txt and a
+// balanced partial trace as dump-trace.json. Names are fixed and
+// overwritten on every dump so scripts can poll for them. The publisher
+// invokes it from a quiesced engine context, so cloning the recorders
+// is race-free.
+func writeDump(dir string, m *updown.Machine, s *telemetry.Snapshot) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "dump-status.json"), append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	var p *metrics.Profile
+	if m.Metrics != nil {
+		p = m.Metrics.PartialProfile()
+		if err := writeFileWith(filepath.Join(dir, "dump-profile.txt"), p.WriteText); err != nil {
+			return err
+		}
+	}
+	if p != nil || m.Trace != nil {
+		err := writeFileWith(filepath.Join(dir, "dump-trace.json"), func(w io.Writer) error {
+			return metrics.WriteTraceFile(w, m.Arch, p, m.Trace)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "updown-sim: partial artifacts dumped to %s\n", dir)
+	return nil
+}
+
+// writeFileWith creates path and streams write's output into it,
+// returning the first error from create, write or close.
+func writeFileWith(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = write(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // simFlags bundles the run-shaping flags so contradictory combinations
@@ -586,7 +710,9 @@ func mustRestoreWarmStart(m *updown.Machine, path string, sf simFlags) (*graph.D
 }
 
 func report(m *updown.Machine, stats updown.Stats, elapsed updown.Cycles) {
-	if elapsed == 0 {
+	// Partial runs can leave per-app phase clocks unset or mid-phase
+	// (negative); the engine's final time is always meaningful.
+	if elapsed <= 0 {
 		elapsed = stats.FinalTime
 	}
 	fmt.Printf("simulated: %d cycles = %.6f s at 2 GHz\n", elapsed, m.Seconds(elapsed))

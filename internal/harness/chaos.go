@@ -2,7 +2,9 @@ package harness
 
 import (
 	"fmt"
+	"io"
 	"strings"
+	"time"
 
 	"updown"
 	"updown/internal/apps/bfs"
@@ -42,6 +44,9 @@ type ChaosOptions struct {
 	CritPath bool
 	// MaxTime bounds simulated cycles per row.
 	MaxTime arch.Cycles
+	// Progress, when non-nil, receives one line before and after every
+	// row's run.
+	Progress io.Writer
 }
 
 func (o *ChaosOptions) defaults() {
@@ -232,10 +237,13 @@ func ChaosBFS(opt ChaosOptions) (*ChaosTable, error) {
 			return nil, err
 		}
 		app.InitValues()
+		progressf(opt.Progress, "chaos-bfs drop=%.3g: running", rate)
+		wall := time.Now()
 		stats, err := app.Run()
 		if err != nil {
 			return nil, fmt.Errorf("chaos bfs drop=%.3g: %w", rate, err)
 		}
+		progressf(opt.Progress, "chaos-bfs drop=%.3g: done in %.1fs", rate, time.Since(wall).Seconds())
 		res := &result{dist: app.Distances(), rounds: app.Rounds, traversed: app.Traversed}
 		if golden == nil {
 			golden = res

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"fmt"
+	"io"
 	"math"
 	"strings"
 
@@ -13,6 +14,7 @@ import (
 	"updown/internal/fault"
 	"updown/internal/graph"
 	"updown/internal/kvmsr"
+	"updown/internal/metrics"
 )
 
 // ChaosRepOptions configures the replicated-memory chaos run: each
@@ -43,6 +45,9 @@ type ChaosRepOptions struct {
 	Apps []string
 	// MaxTime bounds simulated cycles per run.
 	MaxTime arch.Cycles
+	// Progress, when non-nil, receives one line before and after every
+	// run (each workload runs twice: clean, then faulted).
+	Progress io.Writer
 }
 
 func (o *ChaosRepOptions) defaults() {
@@ -92,6 +97,12 @@ type ChaosRepRow struct {
 	// place).
 	Hints, HintWords int
 	RepairedWords    uint64
+	// Repl is the faulted run's replication summary as read back from the
+	// metrics profile (fo=failovers fb=fallback-reads hq=hints-queued) —
+	// the same counters the direct columns carry, but routed through
+	// Profile/Summarize, so the table doubles as a cross-check of that
+	// plumbing.
+	Repl string
 	// Match describes how the faulted output compared to fault-free.
 	Match string
 }
@@ -107,14 +118,14 @@ type ChaosRepTable struct {
 func (t *ChaosRepTable) Format() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Replicated-memory chaos: mid-run fail-stop of a data node — %s\n", t.Workload)
-	fmt.Fprintf(&b, "%-10s %12s %12s %8s %12s %9s %10s %8s %7s %10s %9s %s\n",
+	fmt.Fprintf(&b, "%-10s %12s %12s %8s %12s %9s %10s %8s %7s %10s %9s %-22s %s\n",
 		"app", "clean-cyc", "fault-cyc", "tax%", "failstop@", "failover",
-		"fallback", "deadltr", "hints", "hint-words", "repaired", "match")
+		"fallback", "deadltr", "hints", "hint-words", "repaired", "repl", "match")
 	for _, r := range t.Rows {
-		fmt.Fprintf(&b, "%-10s %12d %12d %8.2f %12d %9d %10d %8d %7d %10d %9d %s\n",
+		fmt.Fprintf(&b, "%-10s %12d %12d %8.2f %12d %9d %10d %8d %7d %10d %9d %-22s %s\n",
 			r.App, r.CleanCycles, r.FaultCycles, r.TaxPct, r.FailStopAt,
 			r.Failovers, r.FallbackReads, r.DeadLetters, r.Hints, r.HintWords,
-			r.RepairedWords, r.Match)
+			r.RepairedWords, r.Repl, r.Match)
 	}
 	for _, n := range t.Notes {
 		fmt.Fprintf(&b, "  note: %s\n", n)
@@ -126,13 +137,13 @@ func (t *ChaosRepTable) Format() string {
 func (t *ChaosRepTable) Markdown() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "**Replicated-memory chaos: mid-run fail-stop of a data node — %s**\n\n", t.Workload)
-	b.WriteString("| app | clean cyc | fault cyc | tax% | failstop@ | failovers | fallback reads | dead letters | hints | hint words | repaired | match |\n")
-	b.WriteString("|---|---|---|---|---|---|---|---|---|---|---|---|\n")
+	b.WriteString("| app | clean cyc | fault cyc | tax% | failstop@ | failovers | fallback reads | dead letters | hints | hint words | repaired | repl | match |\n")
+	b.WriteString("|---|---|---|---|---|---|---|---|---|---|---|---|---|\n")
 	for _, r := range t.Rows {
-		fmt.Fprintf(&b, "| %s | %d | %d | %.2f | %d | %d | %d | %d | %d | %d | %d | %s |\n",
+		fmt.Fprintf(&b, "| %s | %d | %d | %.2f | %d | %d | %d | %d | %d | %d | %d | %s | %s |\n",
 			r.App, r.CleanCycles, r.FaultCycles, r.TaxPct, r.FailStopAt,
 			r.Failovers, r.FallbackReads, r.DeadLetters, r.Hints, r.HintWords,
-			r.RepairedWords, r.Match)
+			r.RepairedWords, r.Repl, r.Match)
 	}
 	for _, n := range t.Notes {
 		fmt.Fprintf(&b, "\n*note: %s*\n", n)
@@ -158,9 +169,13 @@ func chaosRepRun(opt ChaosRepOptions, app string, failAt arch.Cycles) (*chaosRep
 	if failAt > 0 {
 		plan = &fault.Plan{Seed: 1, FailStops: []fault.FailStop{{Node: chaosRepVictim, At: failAt}}}
 	}
+	// The metrics recorder rides along so the run's profile carries the
+	// replication counters (repl: line / Summary fields) the table's repl
+	// column is read from.
 	m, err := updown.New(updown.Config{
 		Arch: &ar, Shards: opt.Shards, MaxTime: opt.MaxTime,
 		Fault: plan, Replication: opt.Rep, Resilience: &kvmsr.Resilience{},
+		Metrics: &metrics.Options{},
 	})
 	if err != nil {
 		return nil, err
@@ -284,11 +299,13 @@ func ChaosReplicated(opt ChaosRepOptions) (*ChaosRepTable, error) {
 			opt.Scale, opt.Rep, chaosRepDataNodes, chaosRepAppNodes, chaosRepVictim, heal),
 	}
 	for _, app := range opt.Apps {
+		progressf(opt.Progress, "chaosrep %s: clean run", app)
 		clean, err := chaosRepRun(opt, app, 0)
 		if err != nil {
 			return nil, fmt.Errorf("chaosrep %s clean: %w", app, err)
 		}
 		failAt := clean.cycles / 2
+		progressf(opt.Progress, "chaosrep %s: faulted run (fail-stop node %d at cycle %d)", app, chaosRepVictim, failAt)
 		faulted, err := chaosRepRun(opt, app, failAt)
 		if err != nil {
 			return nil, fmt.Errorf("chaosrep %s failstop@%d: %w", app, failAt, err)
@@ -304,6 +321,14 @@ func ChaosReplicated(opt ChaosRepOptions) (*ChaosRepTable, error) {
 		for _, c := range faulted.m.Ctrls {
 			fallback += c.FallbackReads
 		}
+		// The same counters, read back through the metrics profile: the
+		// recorder observed them when Machine.Run finished, so the summary
+		// must agree with the direct controller sums above.
+		ps := faulted.m.Metrics.Profile().Summarize(faulted.m.Arch)
+		if ps.FallbackReads != fallback {
+			return nil, fmt.Errorf("chaosrep %s: profile fallback-reads %d != controller sum %d", app, ps.FallbackReads, fallback)
+		}
+		repl := fmt.Sprintf("fo=%d fb=%d hq=%d", ps.Failovers, ps.FallbackReads, ps.HintsQueued)
 		spare := -1
 		if opt.Spare {
 			spare = chaosRepSpare
@@ -328,6 +353,7 @@ func ChaosReplicated(opt ChaosRepOptions) (*ChaosRepTable, error) {
 			Failovers:  faulted.stats.Faults.Failovers,
 			DeadLetters: faulted.stats.Faults.DeadLetters, FallbackReads: fallback,
 			Hints: bf.Hints, HintWords: bf.HintWords, RepairedWords: bf.RepairedWords,
+			Repl:  repl,
 			Match: match,
 		}
 		tb.Rows = append(tb.Rows, row)

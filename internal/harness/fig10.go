@@ -2,6 +2,7 @@ package harness
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"updown"
@@ -36,6 +37,9 @@ type Fig10Options struct {
 	// MaxTime bounds simulated cycles per configuration (0 = default);
 	// timed-out configurations become table notes, not sweep failures.
 	MaxTime arch.Cycles
+	// Progress, when non-nil, receives one line before and after every
+	// configuration run.
+	Progress io.Writer
 }
 
 // Fig10Ingestion regenerates Figure 10 / Table 11: TFORM+KVMSR ingestion
@@ -84,15 +88,19 @@ func Fig10Ingestion(opt Fig10Options) ([]*Table, error) {
 			if err != nil {
 				return nil, err
 			}
+			progressf(opt.Progress, "fig10 data=%gx nodes=%d: running", mult, nodes)
 			wall := time.Now()
 			stats, err := app.Run()
 			if err != nil {
 				if noteTimeout(tb, fmt.Sprintf("nodes=%d", nodes), err) {
+					progressf(opt.Progress, "fig10 data=%gx nodes=%d: timed out, skipped", mult, nodes)
 					continue
 				}
 				return nil, fmt.Errorf("fig10 %gx nodes=%d: %w", mult, nodes, err)
 			}
 			hostRate := hostMevS(stats.Events, time.Since(wall))
+			progressf(opt.Progress, "fig10 data=%gx nodes=%d: done in %.1fs (%.2f host-Mev/s)",
+				mult, nodes, time.Since(wall).Seconds(), hostRate)
 			if app.Records != uint64(n) {
 				return nil, fmt.Errorf("fig10 %gx nodes=%d: parsed %d records, want %d", mult, nodes, app.Records, n)
 			}
@@ -134,6 +142,9 @@ type Fig11Options struct {
 	// MaxTime bounds simulated cycles per configuration (0 = default);
 	// timed-out configurations become table notes, not sweep failures.
 	MaxTime arch.Cycles
+	// Progress, when non-nil, receives one line before and after every
+	// configuration run.
+	Progress io.Writer
 }
 
 // Fig11PartialMatch regenerates Figure 11 / Table 12: streaming query
@@ -188,15 +199,19 @@ func Fig11PartialMatch(opt Fig11Options) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		progressf(opt.Progress, "fig11 lanes=%d: running", lanes)
 		wall := time.Now()
 		stats, err := app.Run()
 		if err != nil {
 			if noteTimeout(tb, fmt.Sprintf("lanes=%d", lanes), err) {
+				progressf(opt.Progress, "fig11 lanes=%d: timed out, skipped", lanes)
 				continue
 			}
 			return nil, fmt.Errorf("fig11 lanes=%d: %w", lanes, err)
 		}
 		hostRate := hostMevS(stats.Events, time.Since(wall))
+		progressf(opt.Progress, "fig11 lanes=%d: done in %.1fs (%.2f host-Mev/s)",
+			lanes, time.Since(wall).Seconds(), hostRate)
 		if app.Processed() != uint64(opt.Records) {
 			return nil, fmt.Errorf("fig11 lanes=%d: processed %d of %d", lanes, app.Processed(), opt.Records)
 		}

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"updown"
@@ -43,6 +44,9 @@ type Fig12Options struct {
 	// multiple over k=1) columns — the price of the self-healing placement
 	// when nothing fails. A leading 1 is implied; it is the baseline row.
 	Reps []int
+	// Progress, when non-nil, receives one line before and after every
+	// configuration run.
+	Progress io.Writer
 }
 
 // Fig12Placement regenerates Figure 12: the performance impact of the
@@ -103,15 +107,19 @@ func Fig12Placement(opt Fig12Options) ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		progressf(opt.Progress, "fig12-pr mem=%d: running", mem)
 		wall := time.Now()
 		stats, err := app.Run()
 		if err != nil {
 			if noteTimeout(prT, fmt.Sprintf("mem=%d", mem), err) {
+				progressf(opt.Progress, "fig12-pr mem=%d: timed out, skipped", mem)
 				continue
 			}
 			return nil, fmt.Errorf("fig12 pr mem=%d: %w", mem, err)
 		}
 		hostRate := hostMevS(stats.Events, time.Since(wall))
+		progressf(opt.Progress, "fig12-pr mem=%d: done in %.1fs (%.2f host-Mev/s)",
+			mem, time.Since(wall).Seconds(), hostRate)
 		sec := m.Seconds(app.Elapsed())
 		row := Row{
 			Label:    fmt.Sprintf("mem=%d", mem),
@@ -144,15 +152,19 @@ func Fig12Placement(opt Fig12Options) ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		progressf(opt.Progress, "fig12-bfs mem=%d: running", mem)
 		wall := time.Now()
 		stats, err := app.Run()
 		if err != nil {
 			if noteTimeout(bfsT, fmt.Sprintf("mem=%d", mem), err) {
+				progressf(opt.Progress, "fig12-bfs mem=%d: timed out, skipped", mem)
 				continue
 			}
 			return nil, fmt.Errorf("fig12 bfs mem=%d: %w", mem, err)
 		}
 		hostRate := hostMevS(stats.Events, time.Since(wall))
+		progressf(opt.Progress, "fig12-bfs mem=%d: done in %.1fs (%.2f host-Mev/s)",
+			mem, time.Since(wall).Seconds(), hostRate)
 		sec := m.Seconds(app.Elapsed())
 		row := Row{
 			Label:    fmt.Sprintf("mem=%d", mem),
@@ -225,6 +237,7 @@ func fig12ReplicationTax(opt Fig12Options, g *graph.Graph, prSplit, bfsSplit *gr
 			if err != nil {
 				return nil, err
 			}
+			progressf(opt.Progress, "fig12-rep %s k=%d: running", app, k)
 			wall := time.Now()
 			var elapsed arch.Cycles
 			var metric float64
@@ -250,6 +263,7 @@ func fig12ReplicationTax(opt Fig12Options, g *graph.Graph, prSplit, bfsSplit *gr
 				elapsed = a.Elapsed()
 				metric = float64(a.Traversed) / m.Seconds(elapsed) / 1e9
 			}
+			progressf(opt.Progress, "fig12-rep %s k=%d: done in %.1fs", app, k, time.Since(wall).Seconds())
 			var bytes int64
 			prof := m.Metrics.Profile()
 			for n := range prof.Nodes {

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"fmt"
+	"io"
 	"math"
 	"time"
 
@@ -47,6 +48,10 @@ type Fig9Options struct {
 	// default). Configurations that exceed it are recorded as a table
 	// note and skipped instead of aborting the sweep.
 	MaxTime arch.Cycles
+	// Progress, when non-nil, receives one line before and after every
+	// configuration run (typically os.Stderr via the -progress flag), so
+	// long sweeps are observable before their tables print.
+	Progress io.Writer
 }
 
 func (o *Fig9Options) maxTime() arch.Cycles {
@@ -132,15 +137,19 @@ func Fig9PageRank(opt Fig9Options) ([]*Table, error) {
 				return nil, err
 			}
 			app.InitValues()
+			progressf(opt.Progress, "fig9-pr %s nodes=%d: running", name, nodes)
 			wall := time.Now()
 			stats, err := app.Run()
 			if err != nil {
 				if noteTimeout(tb, fmt.Sprintf("nodes=%d", nodes), err) {
+					progressf(opt.Progress, "fig9-pr %s nodes=%d: timed out, skipped", name, nodes)
 					continue
 				}
 				return nil, fmt.Errorf("fig9 pr %s nodes=%d: %w", name, nodes, err)
 			}
 			hostRate := hostMevS(stats.Events, time.Since(wall))
+			progressf(opt.Progress, "fig9-pr %s nodes=%d: done in %.1fs (%.2f host-Mev/s)",
+				name, nodes, time.Since(wall).Seconds(), hostRate)
 			if opt.Validate {
 				if err := comparePR(app.Values(), want); err != nil {
 					return nil, fmt.Errorf("fig9 pr %s nodes=%d: %w", name, nodes, err)
@@ -219,15 +228,19 @@ func Fig9BFS(opt Fig9Options) ([]*Table, error) {
 				return nil, err
 			}
 			app.InitValues()
+			progressf(opt.Progress, "fig9-bfs %s nodes=%d: running", name, nodes)
 			wall := time.Now()
 			stats, err := app.Run()
 			if err != nil {
 				if noteTimeout(tb, fmt.Sprintf("nodes=%d", nodes), err) {
+					progressf(opt.Progress, "fig9-bfs %s nodes=%d: timed out, skipped", name, nodes)
 					continue
 				}
 				return nil, fmt.Errorf("fig9 bfs %s nodes=%d: %w", name, nodes, err)
 			}
 			hostRate := hostMevS(stats.Events, time.Since(wall))
+			progressf(opt.Progress, "fig9-bfs %s nodes=%d: done in %.1fs (%.2f host-Mev/s)",
+				name, nodes, time.Since(wall).Seconds(), hostRate)
 			if opt.Validate {
 				if err := compareBFS(app.Distances(), want); err != nil {
 					return nil, fmt.Errorf("fig9 bfs %s nodes=%d: %w", name, nodes, err)
@@ -302,15 +315,19 @@ func Fig9TC(opt Fig9Options) ([]*Table, error) {
 			if err != nil {
 				return nil, err
 			}
+			progressf(opt.Progress, "fig9-tc %s nodes=%d: running", name, nodes)
 			wall := time.Now()
 			stats, err := app.Run()
 			if err != nil {
 				if noteTimeout(tb, fmt.Sprintf("nodes=%d", nodes), err) {
+					progressf(opt.Progress, "fig9-tc %s nodes=%d: timed out, skipped", name, nodes)
 					continue
 				}
 				return nil, fmt.Errorf("fig9 tc %s nodes=%d: %w", name, nodes, err)
 			}
 			hostRate := hostMevS(stats.Events, time.Since(wall))
+			progressf(opt.Progress, "fig9-tc %s nodes=%d: done in %.1fs (%.2f host-Mev/s)",
+				name, nodes, time.Since(wall).Seconds(), hostRate)
 			if opt.Validate && app.Total() != want {
 				return nil, fmt.Errorf("fig9 tc %s nodes=%d: total %d, baseline %d", name, nodes, app.Total(), want)
 			}

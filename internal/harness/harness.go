@@ -14,6 +14,7 @@ package harness
 import (
 	"errors"
 	"fmt"
+	"io"
 	"sort"
 	"strconv"
 	"strings"
@@ -125,6 +126,17 @@ func fillCritPct(r *Row, m *updown.Machine) {
 		return
 	}
 	r.CritPct = m.Trace.CriticalPath().CritPct()
+}
+
+// progressf writes one sweep-progress line to w, or nothing when no
+// progress destination was configured. Sweeps announce each
+// configuration before running it and report wall time and host rate
+// after, so a long sweep is observable without waiting for its table.
+func progressf(w io.Writer, format string, args ...any) {
+	if w == nil {
+		return
+	}
+	fmt.Fprintf(w, format+"\n", args...)
 }
 
 // hostMevS converts an event count and a wall-clock duration into the

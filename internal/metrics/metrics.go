@@ -127,6 +127,7 @@ type Recorder struct {
 	views         []*ShardView
 	finalTime     arch.Cycles
 	faults        fault.Counts
+	repl          ReplCounts
 	shuffleMsgs   int64
 	shuffleTuples int64
 }
@@ -181,6 +182,27 @@ func (r *Recorder) ObserveFaults(c fault.Counts) { r.faults = c }
 func (r *Recorder) ObserveShuffle(msgs, tuples int64) {
 	r.shuffleMsgs, r.shuffleTuples = msgs, tuples
 }
+
+// ReplCounts aggregates the replication-layer counters of the k-way
+// replicated global memory: reads served by a fallback replica and the
+// hinted-handoff queue depth awaiting Backfill. Engine-level failovers
+// live in fault.Counts.Failovers (they are injected-fault outcomes).
+type ReplCounts struct {
+	// FallbackReads counts reads served by a non-primary replica stripe
+	// (the controllers' fallback-read counters summed across nodes).
+	FallbackReads int64 `json:"fallback_reads"`
+	// HintsQueued is the number of hinted-handoff records held for
+	// fail-stopped replicas; Machine.Backfill drains them to zero.
+	HintsQueued int64 `json:"hints_queued"`
+}
+
+// Zero reports whether no replication activity was recorded.
+func (c ReplCounts) Zero() bool { return c == ReplCounts{} }
+
+// ObserveRepl records the run's replication counters; the updown layer
+// calls it after every Run with the accumulated totals (like
+// ObserveFinalTime, later calls replace earlier ones).
+func (r *Recorder) ObserveRepl(c ReplCounts) { r.repl = c }
 
 // ShardView is the per-engine-shard write interface. A view writes only to
 // nodes its shard owns, which makes the recorder race-free without locks.
@@ -254,6 +276,9 @@ type Profile struct {
 	// Fault is the cumulative injected-fault count (all-zero when fault
 	// injection was disabled).
 	Fault fault.Counts
+	// Repl is the replication-layer counter set (all-zero when the
+	// machine used unreplicated placement).
+	Repl ReplCounts
 	// ShuffleMsgs and ShuffleTuples are the run's shuffle traffic:
 	// inter-node network messages carrying shuffle payload and logical
 	// emitted tuples (see sim.Stats; both zero for shuffle-free runs).
@@ -266,7 +291,33 @@ type Profile struct {
 // the run, not during it.
 func (r *Recorder) Profile() *Profile {
 	p := &Profile{Interval: r.interval, FinalTime: r.finalTime, Nodes: r.nodes, Fault: r.faults,
-		ShuffleMsgs: r.shuffleMsgs, ShuffleTuples: r.shuffleTuples}
+		Repl: r.repl, ShuffleMsgs: r.shuffleMsgs, ShuffleTuples: r.shuffleTuples}
+	for _, v := range r.views {
+		for k := range v.kinds {
+			p.Kinds[k].Count += v.kinds[k].Count
+			p.Kinds[k].Cycles += v.kinds[k].Cycles
+		}
+	}
+	return p
+}
+
+// PartialProfile deep-copies the recorder's current state into an
+// immutable mid-run profile: node series, kind tables and run-level
+// aggregates are all cloned, so the result can be rendered from another
+// goroutine while the run continues. It must be called from a quiesced
+// engine context (a window barrier, between Runs, or after Run) — the
+// telemetry plane calls it at barrier publication points; it is not safe
+// to call concurrently with executing shards.
+func (r *Recorder) PartialProfile() *Profile {
+	p := &Profile{Interval: r.interval, FinalTime: r.finalTime, Fault: r.faults,
+		Repl: r.repl, ShuffleMsgs: r.shuffleMsgs, ShuffleTuples: r.shuffleTuples}
+	p.Nodes = make([]NodeSeries, len(r.nodes))
+	for i := range r.nodes {
+		p.Nodes[i] = NodeSeries{
+			Node:    r.nodes[i].Node,
+			Samples: append([]Sample(nil), r.nodes[i].Samples...),
+		}
+	}
 	for _, v := range r.views {
 		for k := range v.kinds {
 			p.Kinds[k].Count += v.kinds[k].Count
@@ -325,6 +376,13 @@ type Summary struct {
 	// busiest port spent serializing cross-node messages divided by
 	// FinalTime.
 	InjUtil float64
+	// FallbackReads, HintsQueued and Failovers surface the replication
+	// layer: reads served by a non-primary replica, hinted-handoff
+	// records awaiting Backfill, and DRAM messages rerouted around a
+	// fail-stopped node. All zero for unreplicated or fault-free runs.
+	FallbackReads int64
+	HintsQueued   int64
+	Failovers     int64
 }
 
 // Summarize computes the run summary under machine m's bandwidth and
@@ -333,7 +391,9 @@ type Summary struct {
 // yield zero utilizations rather than NaN/Inf: every division below is
 // gated on a positive denominator.
 func (p *Profile) Summarize(m arch.Machine) Summary {
-	s := Summary{FinalTime: p.FinalTime}
+	s := Summary{FinalTime: p.FinalTime,
+		FallbackReads: p.Repl.FallbackReads, HintsQueued: p.Repl.HintsQueued,
+		Failovers: p.Fault.Failovers}
 	var busySum, peakBusy, peakBytes, peakXSends int64
 	for i := range p.Nodes {
 		n := &p.Nodes[i]
@@ -391,8 +451,13 @@ func (p *Profile) WriteText(w io.Writer) error {
 		fmt.Fprintf(&b, "%-12s %12d %14d\n", KindName(k), p.Kinds[k].Count, p.Kinds[k].Cycles)
 	}
 	if !p.Fault.Zero() {
-		fmt.Fprintf(&b, "faults: dropped=%d dupped=%d delayed=%d dead-letters=%d stalls=%d\n",
-			p.Fault.Dropped, p.Fault.Dupped, p.Fault.Delayed, p.Fault.DeadLetters, p.Fault.Stalled)
+		fmt.Fprintf(&b, "faults: dropped=%d dupped=%d delayed=%d dead-letters=%d failovers=%d stalls=%d\n",
+			p.Fault.Dropped, p.Fault.Dupped, p.Fault.Delayed, p.Fault.DeadLetters,
+			p.Fault.Failovers, p.Fault.Stalled)
+	}
+	if !p.Repl.Zero() {
+		fmt.Fprintf(&b, "repl: fallback-reads=%d hints-queued=%d failovers=%d\n",
+			p.Repl.FallbackReads, p.Repl.HintsQueued, p.Fault.Failovers)
 	}
 	if p.ShuffleTuples != 0 || p.ShuffleMsgs != 0 {
 		line := fmt.Sprintf("shuffle: tuples=%d network-msgs=%d", p.ShuffleTuples, p.ShuffleMsgs)

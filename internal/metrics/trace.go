@@ -136,6 +136,16 @@ func appendSpanEvents(evs []traceEvent, tr *TraceRecorder, usPerCycle float64, n
 	spans := tr.sortedSpans()
 	type trk struct{ pid, tid int32 }
 	namedTrack := map[trk]bool{}
+	// Async spans may still be open when exporting mid-run (partial
+	// dumps): remember begins in deterministic span order and cancel them
+	// against their ends, so the leftovers can be closed synthetically.
+	type asyncKey struct {
+		pid, tid int32
+		id       uint64
+		name     string
+	}
+	asyncIdx := map[asyncKey]int{}
+	var asyncOpen []*SpanRec
 	var stack []*SpanRec
 	cur := trk{-1, -1}
 	// closeUpto pops spans whose End precedes the next Begin on the
@@ -199,8 +209,16 @@ func appendSpanEvents(evs []traceEvent, tr *TraceRecorder, usPerCycle float64, n
 			})
 		case SpanAsyncBegin, SpanAsyncEnd:
 			ph := "b"
+			k := asyncKey{s.Pid, s.Tid, s.ID, s.Name}
 			if s.Typ == SpanAsyncEnd {
 				ph = "e"
+				if j, ok := asyncIdx[k]; ok {
+					asyncOpen[j] = nil
+					delete(asyncIdx, k)
+				}
+			} else {
+				asyncIdx[k] = len(asyncOpen)
+				asyncOpen = append(asyncOpen, s)
 			}
 			evs = append(evs, traceEvent{
 				Name: s.Name, Ph: ph, Ts: ts,
@@ -210,6 +228,25 @@ func appendSpanEvents(evs []traceEvent, tr *TraceRecorder, usPerCycle float64, n
 		}
 	}
 	closeUpto(0, true)
+	// Close async spans still open at export time — threads alive and
+	// invocations in flight when a partial dump was taken — at the
+	// recorder's current final time, so the file stays balanced. A
+	// completed run has no open async spans, so its output is unchanged.
+	endTs := float64(tr.finalTime) * usPerCycle
+	for _, s := range asyncOpen {
+		if s == nil {
+			continue
+		}
+		ts := float64(s.Begin) * usPerCycle
+		if endTs > ts {
+			ts = endTs
+		}
+		evs = append(evs, traceEvent{
+			Name: s.Name, Ph: "e", Ts: ts,
+			Pid: int(s.Pid), Tid: int(s.Tid),
+			Cat: "task", ID: strconv.FormatUint(s.ID, 16),
+		})
+	}
 	return evs
 }
 

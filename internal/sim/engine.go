@@ -24,6 +24,7 @@ import (
 	"updown/internal/arch"
 	"updown/internal/fault"
 	"updown/internal/metrics"
+	"updown/internal/telemetry"
 )
 
 // Actor is a simulated hardware unit addressed by a NetworkID.
@@ -103,6 +104,14 @@ type Options struct {
 	// and convert writes into hinted-handoff records; unreplicated
 	// regions return ok=false and keep the dead-letter behaviour.
 	DRAMFailover func(kind uint8, op0 uint64, deadNode int, at arch.Cycles) (newKind uint8, newOp0 uint64, node int, ok bool)
+	// Telemetry, when non-nil, receives live in-run snapshots at window
+	// barriers (see internal/telemetry): an immutable aggregate of
+	// progress, throughput and per-node state exposed to concurrent
+	// readers via pointer swap. It also lets observers request partial
+	// artifact dumps or an orderly stop (Run then returns
+	// ErrInterrupted). Nil disables the plane at one nil-check per
+	// window — telemetry hooks never sit on the per-event path.
+	Telemetry *telemetry.Publisher
 	// FixedLookahead selects the legacy conservative window engine: one
 	// global window of MinCrossNodeLatency cycles per barrier, identical
 	// to the PR-1 execution schedule. The default (false) enables the
@@ -253,6 +262,13 @@ type Engine struct {
 	rec *metrics.Recorder
 	// tr is the installed trace recorder, nil when disabled.
 	tr *metrics.TraceRecorder
+	// tel is the installed telemetry publisher, nil when disabled.
+	tel *telemetry.Publisher
+	// interrupted/interruptedAt latch a telemetry stop request; they are
+	// only written from quiesced contexts (see telemetry.go), so the
+	// drivers read them race-free after each barrier or round.
+	interrupted   bool
+	interruptedAt arch.Cycles
 
 	hostID  arch.NetworkID
 	hostSeq uint64
@@ -332,6 +348,7 @@ func NewEngine(m arch.Machine, opts Options) (*Engine, error) {
 		nodeShard: make([]int32, m.Nodes),
 		rec:       opts.Metrics,
 		tr:        opts.Trace,
+		tel:       opts.Telemetry,
 		failover:  opts.DRAMFailover,
 	}
 	for node := 0; node < m.Nodes; node++ {
@@ -466,6 +483,10 @@ func (e *Engine) Run() (Stats, error) {
 		panic("sim: Run called re-entrantly")
 	}
 	e.running = true
+	e.interrupted = false
+	if e.tel != nil {
+		e.tel.BeginRun()
+	}
 	var timedOut bool
 	switch {
 	case e.nshards == 1:
@@ -504,6 +525,13 @@ func (e *Engine) Run() (Stats, error) {
 	if e.tr != nil {
 		e.tr.ObserveFinalTime(total.FinalTime)
 	}
+	if e.tel != nil {
+		// Final snapshot (Done=true), published unconditionally: a dump
+		// requested after the last window barrier is honored here, so a
+		// signal racing the end of the run still yields artifacts.
+		e.telemetryPublish(total.FinalTime, true)
+		e.tel.FinishRun()
+	}
 	if timedOut {
 		terr := &TimeoutError{MaxTime: e.maxTime, NextEvent: math.MaxInt64}
 		for _, s := range e.shards {
@@ -516,6 +544,13 @@ func (e *Engine) Run() (Stats, error) {
 			terr.NextEvent = 0
 		}
 		return total, terr
+	}
+	if e.interrupted {
+		ierr := &InterruptedError{At: e.interruptedAt}
+		for _, s := range e.shards {
+			ierr.Pending += s.heap.live()
+		}
+		return total, ierr
 	}
 	return total, nil
 }
@@ -555,13 +590,50 @@ func (e *Engine) Pending() int {
 // runSequential drives the single shard without windows or barriers: one
 // pass processes everything up to MaxTime. It reports whether simulated
 // time exceeded MaxTime.
+//
+// With telemetry installed the pass is sliced into bounded-horizon
+// chunks so the driver reaches a quiesced point periodically. Slicing
+// cannot change results: the heap pops messages in the same total
+// (Deliver, Src, Seq) order whatever the horizon, and the only
+// horizon-sensitive branch — batched dispatch — degrades to the classic
+// release, whose re-pushed retry is popped next either way.
 func (e *Engine) runSequential() bool {
 	s := e.shards[0]
+	if e.tel == nil {
+		for s.heap.len() > 0 {
+			if s.heap.topDeliver() > e.maxTime {
+				return true
+			}
+			s.processWindow(e.maxTime+1, false)
+			s.heap.compact()
+		}
+		return false
+	}
+	// 8 lookaheads per chunk keeps the beat overhead far off the event
+	// path while reaching quiesced points often enough that snapshots,
+	// dumps and stop requests land with sub-second latency even on
+	// event-dense workloads (a graph kernel runs tens of events per
+	// simulated cycle, so wall time per chunk scales with density, not
+	// cycles); empty gaps are jumped because each chunk starts at the
+	// current heap top.
+	chunk := e.lookahead << 3
+	if chunk>>3 != e.lookahead {
+		chunk = math.MaxInt64 >> 1 // absurd lookahead: one chunk covers everything
+	}
 	for s.heap.len() > 0 {
-		if s.heap.topDeliver() > e.maxTime {
+		top := s.heap.topDeliver()
+		if top > e.maxTime {
 			return true
 		}
-		s.processWindow(e.maxTime+1, false)
+		e.telemetryBeat(top)
+		if e.interrupted {
+			return false
+		}
+		h := satAdd(top, chunk)
+		if m := e.maxTime + 1; h > m {
+			h = m
+		}
+		s.processWindow(h, false)
 		s.heap.compact()
 	}
 	return false

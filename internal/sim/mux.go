@@ -106,6 +106,21 @@ func (e *Engine) runMux() bool {
 			}
 			return true
 		}
+		if e.tel != nil {
+			// Single goroutine: every point between rounds is quiesced.
+			e.telemetryBeat(min)
+			if e.interrupted {
+				// Park staged messages in the heaps, exactly like the
+				// timeout path, so InterruptedError and a later Run see
+				// them.
+				if anyStaged {
+					for _, s := range shards {
+						s.muxCollect()
+					}
+				}
+				return false
+			}
+		}
 		progressed := false
 		for _, s := range shards {
 			// Horizon from the frontier snapshot. next[] entries are

@@ -178,6 +178,16 @@ func (p *pool) reduce() {
 		p.timedOut = true
 		return
 	}
+	if e.tel != nil {
+		// Quiesced point: every worker is parked in the barrier, so the
+		// reduction owns all simulation state and may publish a snapshot
+		// (and run a requested dump). A requested stop latches
+		// e.interrupted, which the workers check right after release.
+		e.telemetryBeat(min)
+		if e.interrupted {
+			return
+		}
+	}
 	if !e.adaptive {
 		h := min + e.lookahead
 		for i := range p.horizon {
@@ -221,7 +231,7 @@ func (p *pool) worker(s *shard) {
 		p.mins[s.idx].v = lm
 		sense ^= 1
 		p.bar.await(sense, p.reduce)
-		if p.windowStart == math.MaxInt64 || p.timedOut {
+		if p.windowStart == math.MaxInt64 || p.timedOut || e.interrupted {
 			break
 		}
 		// Collect what the previous window produced for us, then reuse
@@ -261,6 +271,17 @@ func (p *pool) extend(s *shard, horizon, maxH arch.Cycles) {
 	}
 	lastPub := int64(math.MinInt64)
 	for {
+		if e.tel != nil {
+			// Keep the watchdog fed during long barrier-free spans, and
+			// force a barrier when an observer needs a quiesced point
+			// (dump or stop). Returning early is always safe — the window
+			// protocol recomputes horizons from scratch.
+			e.tel.Touch()
+			if e.tel.BarrierWanted() {
+				p.barrierReq.Store(true)
+				return
+			}
+		}
 		if s.heap.len() > 0 && s.heap.topDeliver() < horizon {
 			s.processWindow(horizon, true)
 			s.heap.compact()

@@ -1,0 +1,146 @@
+// Telemetry integration: the engine-side half of the live observation
+// plane (internal/telemetry).
+//
+// Every hook below runs in a *quiesced* context — a point where no shard
+// is executing events and the calling goroutine owns all simulation
+// state:
+//
+//   - worker pool: inside the barrier reduction, while every worker
+//     waits in the sense-reversing barrier (the atomic count/sense pair
+//     orders their preceding writes before the reduction);
+//   - cooperative multiplexer and sequential driver: between windows on
+//     the single driving goroutine;
+//   - Run itself, after the drivers return.
+//
+// At such a point the engine assembles an immutable Snapshot from shard
+// statistics, heaps, actor clocks and injection ports, publishes it
+// through the Publisher's pointer swap, and optionally clones the
+// metrics recorder into a partial profile. Observers only read the
+// published immutable values, so scrapes and dumps can neither race with
+// the simulation nor change its schedule: window slicing is the only
+// thing telemetry perturbs, and the engine's execution order is provably
+// independent of slicing (the same property that makes the adaptive and
+// fixed schedulers bit-identical).
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"updown/internal/arch"
+	"updown/internal/fault"
+	"updown/internal/telemetry"
+)
+
+// ErrInterrupted is returned by Run when an observer asked the run to
+// stop (telemetry.Publisher.RequestStop, typically from a SIGINT
+// handler). Like a timeout, the engine stops at a quiesced point with
+// every in-flight message parked in its heaps, so partial profiles and
+// traces remain coherent and a later Run could continue the work.
+var ErrInterrupted = errors.New("sim: run interrupted by stop request")
+
+// InterruptedError is the concrete error Run returns for a requested
+// stop. It wraps ErrInterrupted (errors.Is keeps working) and records
+// where the run was parked.
+type InterruptedError struct {
+	// At is the window-start cycle the run stopped at.
+	At arch.Cycles
+	// Pending is the number of messages still queued, including messages
+	// parked behind busy actors.
+	Pending int
+}
+
+func (i *InterruptedError) Error() string {
+	return fmt.Sprintf("sim: run interrupted at cycle %d (%d pending)", i.At, i.Pending)
+}
+
+// Unwrap makes errors.Is(err, ErrInterrupted) succeed.
+func (i *InterruptedError) Unwrap() error { return ErrInterrupted }
+
+// telemetryBeat is the per-window heartbeat: it stamps the publisher's
+// clocks, publishes a snapshot when the throttle (or a pending dump
+// request) asks for one, and latches a requested stop into
+// e.interrupted. Quiesced contexts only; callers guard with e.tel != nil.
+func (e *Engine) telemetryBeat(now arch.Cycles) {
+	if e.tel.Beat(int64(now)) {
+		e.telemetryPublish(now, false)
+	}
+	if e.tel.StopRequested() {
+		e.interrupted = true
+		e.interruptedAt = now
+	}
+}
+
+// telemetryPublish assembles and publishes a snapshot, then refreshes
+// the partial-profile clone when a metrics recorder is installed. The
+// recorder's run-level aggregates are folded in first so the clone is
+// coherent; their replace/monotone-max semantics mean the values the
+// engine re-observes after Run are unchanged, keeping final profile
+// output byte-identical to a telemetry-free run.
+func (e *Engine) telemetryPublish(now arch.Cycles, done bool) {
+	e.tel.Publish(e.telemetrySnapshot(now, done))
+	if e.rec == nil && e.tr == nil {
+		return
+	}
+	var ft arch.Cycles
+	var faults fault.Counts
+	var shuffleMsgs, shuffleTuples int64
+	for _, s := range e.shards {
+		if s.stats.FinalTime > ft {
+			ft = s.stats.FinalTime
+		}
+		faults.Add(s.stats.Faults)
+		shuffleMsgs += s.stats.ShuffleMsgs
+		shuffleTuples += s.stats.ShuffleTuples
+	}
+	if e.tr != nil {
+		// Monotone-max like the recorder's: a mid-run fold keeps partial
+		// trace dumps coherent (open program phases get a current end)
+		// without changing what the post-run observation produces.
+		e.tr.ObserveFinalTime(ft)
+	}
+	if e.rec == nil {
+		return
+	}
+	e.rec.ObserveFinalTime(ft)
+	e.rec.ObserveFaults(faults)
+	e.rec.ObserveShuffle(shuffleMsgs, shuffleTuples)
+	e.tel.SetProfile(e.rec.PartialProfile())
+}
+
+// telemetrySnapshot reads the quiesced engine into an immutable
+// snapshot. now is the current window start; done marks the final
+// snapshot of a Run.
+func (e *Engine) telemetrySnapshot(now arch.Cycles, done bool) *telemetry.Snapshot {
+	s := &telemetry.Snapshot{Done: done, SimTime: int64(now)}
+	if e.maxTime < 1<<62 {
+		s.MaxTime = int64(e.maxTime)
+	}
+	for _, sh := range e.shards {
+		s.Events += sh.stats.Events
+		s.Sends += sh.stats.Sends
+		s.DRAMReads += sh.stats.DRAMReads
+		s.DRAMWrites += sh.stats.DRAMWrites
+		s.DRAMBytes += sh.stats.DRAMBytes
+		s.BusyCycles += sh.stats.BusyCycles
+		s.ShuffleMsgs += sh.stats.ShuffleMsgs
+		s.ShuffleTuples += sh.stats.ShuffleTuples
+		s.Faults.Add(sh.stats.Faults)
+		s.Pending += sh.heap.live()
+	}
+	s.Nodes = make([]telemetry.NodeStat, e.M.Nodes)
+	for n := range s.Nodes {
+		s.Nodes[n].Node = n
+	}
+	for i := range e.state {
+		if b := e.state[i].busy; b != 0 {
+			s.Nodes[e.nodeOfID[i]].Busy += b
+		}
+	}
+	for n, busy64 := range e.injBusy64 {
+		if backlog := busy64 - int64(now)*64; backlog > 0 {
+			s.Nodes[n].InjBacklog = backlog / 64
+		}
+	}
+	return s
+}

@@ -1,0 +1,172 @@
+// Watchdog stall detection. A wedged simulation — a livelocked actor
+// loop, a deadlocked host driver, an OnMessage that never returns — stops
+// producing engine heartbeats, and that silence is the one signal the
+// quiesced-publication model cannot deliver by itself. The watchdog runs
+// on its own goroutine, watches the Publisher's heartbeat wall clock, and
+// when no beat lands for Stall wall-seconds it writes a diagnosis bundle
+// to disk: every goroutine's stack (the actual wedge), the latest
+// snapshot as JSON, and the latest partial-profile clone. It reads only
+// the Publisher's atomics and published clones — never the live recorder
+// or engine — so it is race-free against a merely-slow run and can fire
+// even while the engine holds all its own state.
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+)
+
+// Watchdog detects a stalled run and dumps diagnostics.
+type Watchdog struct {
+	// P is the publisher whose heartbeat is watched.
+	P *Publisher
+	// Stall is the silence threshold: no heartbeat for this long marks
+	// the run stalled. Zero disables the watchdog (Start is a no-op).
+	Stall time.Duration
+	// Dir receives the dump files (stall-stacks.txt, stall-status.json,
+	// stall-profile.txt); empty means the current directory.
+	Dir string
+	// Logf, when non-nil, receives a notice when a stall is detected and
+	// when the run recovers.
+	Logf func(format string, args ...any)
+	// OnStall, when non-nil, runs after a stall dump is written (test
+	// hook; also usable to page).
+	OnStall func()
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// Start launches the watchdog goroutine. It polls at Stall/4 (at least
+// every 10ms) and dumps once per stall episode: after a dump it re-arms
+// only when a fresh heartbeat arrives.
+func (w *Watchdog) Start() {
+	if w.Stall <= 0 {
+		return
+	}
+	w.stop = make(chan struct{})
+	w.done = make(chan struct{})
+	go w.loop()
+}
+
+// Stop terminates the watchdog goroutine and waits for it to exit. Safe
+// to call when Start was a no-op.
+func (w *Watchdog) Stop() {
+	if w.stop == nil {
+		return
+	}
+	close(w.stop)
+	<-w.done
+	w.stop = nil
+}
+
+func (w *Watchdog) loop() {
+	defer close(w.done)
+	poll := w.Stall / 4
+	if poll < 10*time.Millisecond {
+		poll = 10 * time.Millisecond
+	}
+	tick := time.NewTicker(poll)
+	defer tick.Stop()
+	var tripped bool
+	var trippedAt time.Time
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-tick.C:
+		}
+		beat, _ := w.P.LastBeat()
+		if beat.IsZero() {
+			continue // run not started yet
+		}
+		if s := w.P.Latest(); s != nil && s.Done {
+			continue // run finished; silence is expected
+		}
+		if tripped {
+			if beat.After(trippedAt) {
+				tripped = false
+				if w.Logf != nil {
+					w.Logf("watchdog: run resumed after stall")
+				}
+			}
+			continue
+		}
+		if silence := time.Since(beat); silence >= w.Stall {
+			tripped = true
+			trippedAt = time.Now()
+			if w.Logf != nil {
+				w.Logf("watchdog: no engine heartbeat for %v, dumping diagnostics to %s",
+					silence.Round(time.Millisecond), w.dir())
+			}
+			if err := w.dump(); err != nil && w.Logf != nil {
+				w.Logf("watchdog: dump failed: %v", err)
+			}
+			if w.OnStall != nil {
+				w.OnStall()
+			}
+		}
+	}
+}
+
+func (w *Watchdog) dir() string {
+	if w.Dir == "" {
+		return "."
+	}
+	return w.Dir
+}
+
+// dump writes the stall diagnosis bundle. File names are fixed (a second
+// episode overwrites the first) so tooling and CI can find them without
+// globbing.
+func (w *Watchdog) dump() error {
+	dir := w.dir()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	// Goroutine stacks: grow the buffer until runtime.Stack fits.
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	if err := os.WriteFile(filepath.Join(dir, "stall-stacks.txt"), buf, 0o644); err != nil {
+		return err
+	}
+	if s := w.P.Latest(); s != nil {
+		js, err := json.MarshalIndent(statusView(s), "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dir, "stall-status.json"), append(js, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	if prof := w.P.Profile(); prof != nil {
+		f, err := os.Create(filepath.Join(dir, "stall-profile.txt"))
+		if err != nil {
+			return err
+		}
+		if err := prof.WriteText(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String describes the configuration (used in -serve startup logging).
+func (w *Watchdog) String() string {
+	return fmt.Sprintf("watchdog{stall=%v dir=%s}", w.Stall, w.dir())
+}

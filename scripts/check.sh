@@ -16,7 +16,7 @@ fi
 go vet ./...
 go build ./...
 go test ./...
-go test -race ./internal/sim/ ./internal/kvmsr/ ./internal/metrics/
+go test -race ./internal/sim/ ./internal/kvmsr/ ./internal/metrics/ ./internal/telemetry/
 
 # Bench smoke: the shuffle-aggregation benchmark asserts (via b.Fatalf)
 # that coalesced+combined PageRank pushes strictly fewer messages into
@@ -28,6 +28,11 @@ go test -run XX -bench BenchmarkKVMSRShuffle -benchtime=5x .
 # workload the adaptive scheduler must not be slower than the legacy
 # fixed window it replaced (best-of-3 wall clock each).
 UPDOWN_BENCH_SMOKE=1 go test -run TestAdaptiveLookaheadSpeedup -count=1 ./internal/sim/
+
+# Benchmark-history sanity: benchdiff must parse BENCH_sim.json and find
+# no regression between the recorded entries (they are historical, so
+# this only breaks when the file or the tool is broken).
+go run ./cmd/benchdiff -max-regress 100
 
 # Replication smoke: figchaos -rep fail-stops a data-carrying node at
 # k=2 mid-run and exits nonzero unless the faulted outputs match the

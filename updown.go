@@ -28,6 +28,7 @@ import (
 	"updown/internal/kvmsr"
 	"updown/internal/metrics"
 	"updown/internal/sim"
+	"updown/internal/telemetry"
 	"updown/internal/udweave"
 )
 
@@ -120,6 +121,16 @@ type Config struct {
 	// the default adaptive topology-aware scheduler. Results are
 	// bit-identical either way; the flag exists for A/B measurement.
 	FixedLookahead bool
+	// Telemetry, when non-nil, attaches the live observation plane: the
+	// engine publishes immutable in-run snapshots (progress, throughput,
+	// per-node busy/backlog, fault and replication counters) through the
+	// publisher at window barriers, observers read them lock-free (HTTP
+	// exposition, watchdog, signal-driven dumps), and RequestStop makes
+	// Run return sim.ErrInterrupted at the next quiesced point. The
+	// published snapshots never touch live sim state, so telemetry
+	// cannot perturb determinism; nil keeps the plane disabled at one
+	// nil-check per window.
+	Telemetry *telemetry.Publisher
 	// Trace, when non-nil, enables the causal tracing recorder: named
 	// spans (thread lifetimes, event executions, KVMSR phases, program
 	// phases) and/or the per-message causal edge stream that feeds
@@ -224,6 +235,7 @@ func New(cfg Config) (*Machine, error) {
 		LaneFactory:    prog.NewLane,
 		Metrics:        rec,
 		Trace:          tr,
+		Telemetry:      cfg.Telemetry,
 		Fault:          cfg.Fault,
 		DRAMFailover:   failover,
 		FixedLookahead: cfg.FixedLookahead,
@@ -232,8 +244,35 @@ func New(cfg Config) (*Machine, error) {
 		return nil, err
 	}
 	ctrls := dram.Install(eng, gas)
+	if cfg.Telemetry != nil {
+		// Aux runs in the quiesced engine context at snapshot publication,
+		// so reading the controllers' replication counters is race-free.
+		// Folding them into the recorder too keeps mid-run partial
+		// profiles coherent; Machine.Run re-observes the final values, so
+		// post-run profiles are unchanged by telemetry.
+		cfg.Telemetry.Aux = func(s *telemetry.Snapshot) {
+			c := replCounts(ctrls)
+			s.Repl = c
+			if rec != nil {
+				rec.ObserveRepl(c)
+			}
+		}
+	}
 	return &Machine{Arch: a, Engine: eng, GAS: gas, Prog: prog, Ctrls: ctrls,
 		Metrics: rec, Trace: tr, Resilience: cfg.Resilience, Coalesce: cfg.Coalesce}, nil
+}
+
+// replCounts sums the replication-layer counters across the machine's
+// memory controllers: fall-over reads served and hinted-handoff records
+// still queued (Backfill drains the latter to zero). All-zero for
+// unreplicated machines.
+func replCounts(ctrls []*dram.Controller) metrics.ReplCounts {
+	var c metrics.ReplCounts
+	for _, ctrl := range ctrls {
+		c.FallbackReads += ctrl.FallbackReads
+		c.HintsQueued += int64(ctrl.Hints())
+	}
+	return c
 }
 
 // LanePeek returns a resolver from lane NetworkID to its simulated actor,
@@ -254,8 +293,16 @@ func (m *Machine) StartWithCont(evw, cont uint64, ops ...uint64) {
 	m.Engine.Post(0, udweave.EvwNetworkID(evw), arch.KindEvent, evw, cont, ops...)
 }
 
-// Run simulates to quiescence.
-func (m *Machine) Run() (Stats, error) { return m.Engine.Run() }
+// Run simulates to quiescence. After the run the replication-layer
+// counters are folded into the metrics recorder so profiles surface
+// them (WriteText "repl:" line, Summary.FallbackReads/HintsQueued).
+func (m *Machine) Run() (Stats, error) {
+	stats, err := m.Engine.Run()
+	if m.Metrics != nil {
+		m.Metrics.ObserveRepl(replCounts(m.Ctrls))
+	}
+	return stats, err
+}
 
 // BackfillStats reports what Machine.Backfill did.
 type BackfillStats struct {
