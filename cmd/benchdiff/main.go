@@ -10,12 +10,21 @@
 //	benchdiff -old 2026-08-06          # select by date (or description substring)
 //	benchdiff -head                    # run the benchmarks now, compare vs newest entry
 //	benchdiff -head -max-regress 10    # fail on >10% host-Mev/s drop
+//	benchdiff -file new.json -old-file BENCH_sched.json   # cross-file compare
 //
 // Entries store per-benchmark variant maps ({"before": ..., "after":
 // ...} or {"adaptive": ...}); the comparison reads each configuration's
-// preferred variant — "after", then "adaptive", then the sole numeric
-// value — so entries with different variant vocabularies still line up.
-// Only configurations present on both sides are compared.
+// preferred variant — "after", then "adaptive", then "jobs_per_sec",
+// then the sole numeric value — so entries with different variant
+// vocabularies still line up. Only configurations present on both sides
+// are compared.
+//
+// Besides the {"entries": [...]} history shape, benchdiff also reads
+// the single-document acceptance files (BENCH_kvmsr.json,
+// BENCH_sched.json): a top-level object with "what"/"date" keys becomes
+// a one-entry file whose every numeric leaf — including leaves inside
+// JSON arrays such as figsched's "rows" — is a comparable
+// configuration. Use -old-file to diff one file against another.
 //
 // Exit status: 0 when no benchmark regressed beyond -max-regress, 1 when
 // one did, 2 on usage or data errors.
@@ -35,6 +44,7 @@ import (
 
 func main() {
 	file := flag.String("file", "BENCH_sim.json", "benchmark history file")
+	oldFile := flag.String("old-file", "", "read the baseline entry from this file instead of -file")
 	oldSel := flag.String("old", "", "baseline entry: index (negative = from end), date, or description substring (default: the entry before -new, or the newest with -head)")
 	newSel := flag.String("new", "", "candidate entry: same selectors (default: the newest entry)")
 	head := flag.Bool("head", false, "benchmark the current tree (go test -bench) as the candidate instead of reading an entry")
@@ -48,18 +58,30 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	obf := bf // baseline source; -old-file redirects it
+	if *oldFile != "" && *oldFile != *file {
+		if obf, err = readBenchFile(*oldFile); err != nil {
+			fatal(err)
+		}
+	}
+	oldLabel := func(i int) string {
+		if obf != bf {
+			return *oldFile + " " + obf.label(i)
+		}
+		return obf.label(i)
+	}
 
 	var oldFlat, newFlat map[string]float64
 	var oldName, newName string
 	if *head {
-		oldIdx := len(bf.Entries) - 1
+		oldIdx := len(obf.Entries) - 1
 		if *oldSel != "" {
-			if oldIdx, err = bf.pick(*oldSel); err != nil {
+			if oldIdx, err = obf.pick(*oldSel); err != nil {
 				fatal(err)
 			}
 		}
-		oldFlat = flatten(bf.Entries[oldIdx].Benchmarks)
-		oldName = bf.label(oldIdx)
+		oldFlat = flatten(obf.Entries[oldIdx].Benchmarks)
+		oldName = oldLabel(oldIdx)
 		fmt.Printf("running %s %s in %s ...\n", *bench, *benchtime, *pkg)
 		if newFlat, err = runHead(*bench, *benchtime, *pkg); err != nil {
 			fatal(err)
@@ -72,18 +94,23 @@ func main() {
 				fatal(err)
 			}
 		}
+		// Same-file default baseline is the entry before the candidate;
+		// cross-file it is the other file's newest entry.
 		oldIdx := newIdx - 1
+		if obf != bf {
+			oldIdx = len(obf.Entries) - 1
+		}
 		if *oldSel != "" {
-			if oldIdx, err = bf.pick(*oldSel); err != nil {
+			if oldIdx, err = obf.pick(*oldSel); err != nil {
 				fatal(err)
 			}
 		}
-		if oldIdx < 0 || oldIdx >= len(bf.Entries) {
-			fatal(fmt.Errorf("no baseline entry before %q (file has %d entries)", bf.label(newIdx), len(bf.Entries)))
+		if oldIdx < 0 || oldIdx >= len(obf.Entries) {
+			fatal(fmt.Errorf("no baseline entry before %q (file has %d entries)", bf.label(newIdx), len(obf.Entries)))
 		}
-		oldFlat = flatten(bf.Entries[oldIdx].Benchmarks)
+		oldFlat = flatten(obf.Entries[oldIdx].Benchmarks)
 		newFlat = flatten(bf.Entries[newIdx].Benchmarks)
-		oldName, newName = bf.label(oldIdx), bf.label(newIdx)
+		oldName, newName = oldLabel(oldIdx), bf.label(newIdx)
 	}
 
 	rows, worst := diff(oldFlat, newFlat)
@@ -130,6 +157,19 @@ func readBenchFile(path string) (*benchFile, error) {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	if len(bf.Entries) == 0 {
+		// Acceptance files (BENCH_kvmsr.json, BENCH_sched.json) are a
+		// single top-level object with "what"/"date" keys rather than an
+		// "entries" history: synthesize a one-entry file from the whole
+		// document. String leaves are ignored by flatten, so the prose
+		// fields cost nothing.
+		var doc struct {
+			What string `json:"what"`
+			Date string `json:"date"`
+		}
+		if err := json.Unmarshal(b, &doc); err == nil && (doc.What != "" || doc.Date != "") {
+			bf.Entries = []entry{{Description: doc.What, Date: doc.Date, Benchmarks: json.RawMessage(b)}}
+			return &bf, nil
+		}
 		return nil, fmt.Errorf("%s: no entries", path)
 	}
 	return &bf, nil
@@ -168,7 +208,8 @@ func (bf *benchFile) label(i int) string {
 
 // flatten walks an entry's benchmarks subtree into "Name/config" ->
 // rate. At each level it first tries to read the node as a variant map
-// via preferred; otherwise it recurses into sub-objects.
+// via preferred; otherwise it recurses into sub-objects and arrays
+// (array elements are keyed by index, e.g. "rows/0").
 func flatten(raw json.RawMessage) map[string]float64 {
 	var root any
 	if json.Unmarshal(raw, &root) != nil {
@@ -192,6 +233,14 @@ func flatten(raw json.RawMessage) map[string]float64 {
 				}
 				walk(p, n[k])
 			}
+		case []any:
+			for i, e := range n {
+				p := strconv.Itoa(i)
+				if path != "" {
+					p = path + "/" + p
+				}
+				walk(p, e)
+			}
 		}
 	}
 	walk("", root)
@@ -199,10 +248,12 @@ func flatten(raw json.RawMessage) map[string]float64 {
 }
 
 // preferred extracts the comparable rate from a variant map: "after"
-// (before/after entries), then "adaptive", then the sole numeric field.
-// Multi-variant maps without a preferred key are not leaves.
+// (before/after entries), then "adaptive", then "jobs_per_sec" (a
+// figsched row collapses to its completion throughput), then the sole
+// numeric field. Multi-variant maps without a preferred key are not
+// leaves.
 func preferred(m map[string]any) (float64, bool) {
-	for _, k := range []string{"after", "adaptive"} {
+	for _, k := range []string{"after", "adaptive", "jobs_per_sec"} {
 		if v, ok := m[k].(float64); ok {
 			return v, true
 		}

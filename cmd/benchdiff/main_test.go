@@ -3,6 +3,8 @@ package main
 import (
 	"encoding/json"
 	"math"
+	"os"
+	"path/filepath"
 	"testing"
 )
 
@@ -128,5 +130,131 @@ ok  	updown/internal/sim	4.2s
 	}
 	if _, err := parseBenchOutput("PASS\nok\n"); err == nil {
 		t.Error("no benchmark lines: want error")
+	}
+}
+
+// Acceptance-file shapes: BENCH_kvmsr.json and BENCH_sched.json are
+// single top-level documents with "what"/"date" keys, not {"entries":
+// [...]} histories. readBenchFile synthesizes a one-entry file from
+// them, and flatten must walk the figsched "rows" array.
+
+const kvmsrShapeDoc = `{
+  "what": "Shuffle aggregation in KVMSR: before/after",
+  "host": "test host",
+  "date": "2026-08-06",
+  "simulated": {
+    "note": "prose to be ignored",
+    "pagerank_scale9": {
+      "shuffle_msgs": {"before": 5000, "after": 1200},
+      "cycles": {"before": 900000, "after": 870000}
+    }
+  }
+}`
+
+const schedShapeDoc = `{
+  "what": "Multi-tenant job scheduler sweep",
+  "date": "2026-08-08",
+  "nodes": 8,
+  "rows": [
+    {"mean_gap_cycles": 24000, "jobs_per_sec": 70000.0, "p99_ms": 0.04,
+     "tenants": [{"tenant": "acme", "done": 13}]},
+    {"mean_gap_cycles": 3000, "jobs_per_sec": 139000.0, "p99_ms": 0.13,
+     "tenants": [{"tenant": "acme", "done": 12}]}
+  ]
+}`
+
+func writeDoc(t *testing.T, name, doc string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestReadBenchFileAdHocShapes(t *testing.T) {
+	for _, tc := range []struct {
+		name, doc, wantDesc, wantKey string
+		wantVal                      float64
+	}{
+		{"kvmsr", kvmsrShapeDoc, "Shuffle aggregation in KVMSR: before/after",
+			"simulated/pagerank_scale9/shuffle_msgs", 1200},
+		{"sched", schedShapeDoc, "Multi-tenant job scheduler sweep",
+			"rows/1", 139000.0},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			bf, err := readBenchFile(writeDoc(t, "BENCH_"+tc.name+".json", tc.doc))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(bf.Entries) != 1 {
+				t.Fatalf("entries = %d, want 1 synthesized entry", len(bf.Entries))
+			}
+			if bf.Entries[0].Description != tc.wantDesc {
+				t.Fatalf("description = %q, want %q", bf.Entries[0].Description, tc.wantDesc)
+			}
+			flat := flatten(bf.Entries[0].Benchmarks)
+			if got := flat[tc.wantKey]; !almost(got, tc.wantVal) {
+				t.Fatalf("%s = %v, want %v (flat: %v)", tc.wantKey, got, tc.wantVal, flat)
+			}
+		})
+	}
+	// A document with neither "entries" nor "what"/"date" is rejected.
+	if _, err := readBenchFile(writeDoc(t, "junk.json", `{"x": 1}`)); err == nil {
+		t.Fatal("shapeless document must be rejected")
+	}
+}
+
+func TestFlattenWalksArraysAndCollapsesRows(t *testing.T) {
+	bf, err := readBenchFile(writeDoc(t, "BENCH_sched.json", schedShapeDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := flatten(bf.Entries[0].Benchmarks)
+	// A row carrying the preferred "jobs_per_sec" key collapses to that
+	// throughput; its other fields and the nested tenants array are not
+	// separate leaves.
+	if got := flat["rows/0"]; !almost(got, 70000.0) {
+		t.Fatalf("rows/0 = %v, want 70000 (jobs_per_sec preferred)", got)
+	}
+	if _, ok := flat["rows/0/p99_ms"]; ok {
+		t.Fatal("row with preferred key must collapse, not expand")
+	}
+	// Top-level scalars survive; prose string leaves do not.
+	if got := flat["nodes"]; !almost(got, 8) {
+		t.Fatalf("nodes = %v, want 8", got)
+	}
+	if _, ok := flat["what"]; ok {
+		t.Fatal("string leaf leaked into flat map")
+	}
+}
+
+func TestDiffAcrossAdHocFiles(t *testing.T) {
+	// Two sched documents with a throughput regression in row 1: diff
+	// must line the rows up by path and report the drop. This is the
+	// -file new -old-file old cross-file path.
+	newDoc := `{
+  "what": "Multi-tenant job scheduler sweep",
+  "date": "2026-08-09",
+  "nodes": 8,
+  "rows": [
+    {"mean_gap_cycles": 24000, "jobs_per_sec": 70000.0},
+    {"mean_gap_cycles": 3000, "jobs_per_sec": 104250.0}
+  ]
+}`
+	oldBF, err := readBenchFile(writeDoc(t, "old.json", schedShapeDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	newBF, err := readBenchFile(writeDoc(t, "new.json", newDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, worst := diff(flatten(oldBF.Entries[0].Benchmarks), flatten(newBF.Entries[0].Benchmarks))
+	if len(rows) != 3 { // nodes, rows/0, rows/1
+		t.Fatalf("common configurations = %d, want 3 (%+v)", len(rows), rows)
+	}
+	if !almost(worst, -25) {
+		t.Fatalf("worst delta = %v, want -25", worst)
 	}
 }

@@ -204,8 +204,13 @@ func (a *App) InitValues() {
 
 // Post queues the driver event without entering the simulator, so the
 // host can drive execution itself (RunUntil + Checkpoint workflows).
-func (a *App) Post() {
-	a.m.Start(updown.EvwNew(a.cfg.Lanes.First, a.lDriver))
+func (a *App) Post() { a.PostAt(0) }
+
+// PostAt queues the driver for delivery at cycle t: a job scheduler
+// launching this instance on a resident machine posts it just past the
+// already-simulated frontier.
+func (a *App) PostAt(t updown.Cycles) {
+	a.m.StartAt(t, updown.EvwNew(a.cfg.Lanes.First, a.lDriver))
 }
 
 // Run simulates to completion.

@@ -124,8 +124,13 @@ func New(m *updown.Machine, dg *graph.DeviceGraph, cfg Config) (*App, error) {
 	a := &App{m: m, dg: dg, cfg: cfg}
 	p := m.Prog
 	a.cc = collections.NewCombiningCache(p, "pr.fna", collections.AddF64)
+	// The accumulator array lives on the lane set's own nodes, so a job
+	// confined to a lane partition touches no other partition's memory
+	// (whole-machine runs stripe over all nodes exactly as before).
+	auxFirst := m.Arch.NodeOf(cfg.Lanes.First)
+	auxNodes := gasmem.FloorPow2(cfg.Lanes.NumNodes(m.Arch))
 	var err error
-	a.auxVA, err = m.GAS.DRAMmalloc(uint64(dg.G.N)*gasmem.WordBytes, 0, gasmem.FloorPow2(m.Arch.Nodes), 32<<10)
+	a.auxVA, err = m.GAS.DRAMmalloc(uint64(dg.G.N)*gasmem.WordBytes, auxFirst, auxNodes, 32<<10)
 	if err != nil {
 		return nil, err
 	}
@@ -205,10 +210,21 @@ func (a *App) InitValues() {
 	}
 }
 
+// Post queues the driver event without entering the simulator, so the
+// host can drive execution itself (RunUntil + Checkpoint workflows).
+func (a *App) Post() { a.PostAt(0) }
+
+// PostAt queues the driver for delivery at cycle t: a job scheduler
+// launching this instance on a resident machine posts it just past the
+// already-simulated frontier.
+func (a *App) PostAt(t updown.Cycles) {
+	a.iterLeft = a.cfg.Iterations
+	a.m.StartAt(t, updown.EvwNew(a.cfg.Lanes.First, a.lDriver))
+}
+
 // Run posts the driver and simulates to completion, returning statistics.
 func (a *App) Run() (updown.Stats, error) {
-	a.iterLeft = a.cfg.Iterations
-	a.m.Start(updown.EvwNew(a.cfg.Lanes.First, a.lDriver))
+	a.Post()
 	return a.m.Run()
 }
 

@@ -143,16 +143,31 @@ func New(m *updown.Machine, dg *graph.DeviceGraph, cfg Config) (*App, error) {
 	if err != nil {
 		return nil, err
 	}
-	a.totalsVA, err = m.GAS.DRAMmalloc(uint64(cfg.Lanes.Count)*gasmem.WordBytes, 0, 1, 4096)
+	// The totals array lives on the lane set's first node, so a job
+	// confined to a lane partition touches no other partition's memory
+	// (whole-machine runs keep the historical node-0 placement).
+	a.totalsVA, err = m.GAS.DRAMmalloc(uint64(cfg.Lanes.Count)*gasmem.WordBytes,
+		m.Arch.NodeOf(cfg.Lanes.First), 1, 4096)
 	if err != nil {
 		return nil, err
 	}
 	return a, nil
 }
 
+// Post queues the driver event without entering the simulator, so the
+// host can drive execution itself (RunUntil + Checkpoint workflows).
+func (a *App) Post() { a.PostAt(0) }
+
+// PostAt queues the driver for delivery at cycle t: a job scheduler
+// launching this instance on a resident machine posts it just past the
+// already-simulated frontier.
+func (a *App) PostAt(t updown.Cycles) {
+	a.m.StartAt(t, updown.EvwNew(a.cfg.Lanes.First, a.lDriver))
+}
+
 // Run simulates to completion.
 func (a *App) Run() (updown.Stats, error) {
-	a.m.Start(updown.EvwNew(a.cfg.Lanes.First, a.lDriver))
+	a.Post()
 	return a.m.Run()
 }
 

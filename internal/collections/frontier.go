@@ -77,7 +77,10 @@ func (f *Frontier) Alloc(gas *gasmem.GAS) error {
 			return err
 		}
 	}
-	va, err := gas.DRAMmalloc(size, 0, 1, 4096)
+	// Fallback: one chunk on the lane set's first node, keeping the
+	// storage inside the set's node span so concurrently scheduled jobs
+	// on disjoint partitions never share a memory controller.
+	va, err := gas.DRAMmalloc(size, m.NodeOf(f.lanes.First), 1, 4096)
 	f.base = va
 	return err
 }

@@ -86,21 +86,24 @@ func (s *Shmem) Alloc(gas *gasmem.GAS) error {
 	size := uint64(s.lanes.Count*s.words) * gasmem.WordBytes
 	lanesPerNode := m.LanesPerNode()
 	var err error
+	// Fallbacks stay on the lane set's first node (not node 0), so
+	// concurrently scheduled jobs on disjoint partitions never share a
+	// memory controller.
 	if int(s.lanes.First)%lanesPerNode == 0 && s.lanes.Count%lanesPerNode == 0 {
 		nodes := s.lanes.Count / lanesPerNode
 		perNode := size / uint64(nodes)
 		if perNode&(perNode-1) == 0 {
 			s.base, err = gas.DRAMmalloc(size, m.NodeOf(s.lanes.First), nodes, perNode)
 		} else {
-			s.base, err = gas.DRAMmalloc(size, 0, 1, 4096)
+			s.base, err = gas.DRAMmalloc(size, m.NodeOf(s.lanes.First), 1, 4096)
 		}
 	} else {
-		s.base, err = gas.DRAMmalloc(size, 0, 1, 4096)
+		s.base, err = gas.DRAMmalloc(size, m.NodeOf(s.lanes.First), 1, 4096)
 	}
 	if err != nil {
 		return err
 	}
-	s.resultVA, err = gas.DRAMmalloc(gasmem.WordBytes, 0, 1, 4096)
+	s.resultVA, err = gas.DRAMmalloc(gasmem.WordBytes, m.NodeOf(s.lanes.First), 1, 4096)
 	return err
 }
 

@@ -59,6 +59,11 @@ type Region struct {
 	// (Dynamo-style preference list walked clockwise from the home).
 	Rep int
 
+	// Owner tags the region with the job that allocated it (0 =
+	// untagged). The scheduler brackets each job's build phase with
+	// SetOwner so OwnerBytes can report per-job DRAM footprints.
+	Owner int
+
 	// physBase[i] is the physical byte offset of the region's storage on
 	// the node at ring position i (nodes[i]). The storage holds Rep
 	// stripes of perNode bytes each: stripe j at physBase[i]+j*perNode
@@ -143,6 +148,10 @@ type GAS struct {
 	// fall-over, write fan-out, hinted handoff — can consult liveness
 	// without a simulator dependency.
 	deadAt []int64
+
+	// owner is the tag stamped onto subsequently allocated regions
+	// (0 = untagged); see SetOwner.
+	owner int
 }
 
 // New creates an address space spanning n node memories of capBytes each.
@@ -216,6 +225,7 @@ func (g *GAS) DRAMmallocRep(size uint64, firstNode, nrNodes int, bs uint64, rep 
 		NRNodes:   nrNodes,
 		BS:        bs,
 		Rep:       rep,
+		Owner:     g.owner,
 		physBase:  make([]uint64, nrNodes),
 		nodes:     make([]int32, nrNodes),
 		perNode:   perNode,
@@ -261,6 +271,40 @@ func (g *GAS) SetReplication(k int) {
 
 // Replicated reports whether any region holds more than one copy.
 func (g *GAS) Replicated() bool { return g.replicated }
+
+// SetOwner sets the owner tag stamped onto subsequently allocated
+// regions and returns the previous tag, so callers can bracket a build
+// phase:
+//
+//	prev := gas.SetOwner(jobID)
+//	defer gas.SetOwner(prev)
+//
+// Tagging is accounting only. The bump allocator cannot reclaim, so a
+// finished job's regions keep their bytes (and their tag) until the
+// machine is discarded — OwnerBytes reports a job's lifetime footprint,
+// not a live balance.
+func (g *GAS) SetOwner(id int) (prev int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	prev = g.owner
+	g.owner = id
+	return prev
+}
+
+// OwnerBytes returns the physical DRAM footprint — bytes occupied
+// across all participating nodes, replicas included — of the regions
+// tagged with the given owner.
+func (g *GAS) OwnerBytes(id int) uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var total uint64
+	for _, r := range g.regions {
+		if r.Owner == id {
+			total += r.perNode * uint64(r.Rep) * uint64(r.NRNodes)
+		}
+	}
+	return total
+}
 
 // RegionOf returns the region containing va, or nil.
 func (g *GAS) RegionOf(va VA) *Region {

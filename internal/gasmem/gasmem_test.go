@@ -283,3 +283,58 @@ func TestRegionOf(t *testing.T) {
 		t.Error("RegionOf(0) should be nil")
 	}
 }
+
+func TestOwnerTagging(t *testing.T) {
+	g := New(4, 1<<30)
+
+	// Untagged allocation: owner 0.
+	va0, err := g.DRAMmalloc(64<<10, 0, 4, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.RegionOf(va0).Owner; got != 0 {
+		t.Fatalf("untagged region owner = %d, want 0", got)
+	}
+
+	// Bracketed build phases stamp their job ID.
+	if prev := g.SetOwner(7); prev != 0 {
+		t.Fatalf("SetOwner returned prev %d, want 0", prev)
+	}
+	va7a, err := g.DRAMmalloc(64<<10, 0, 2, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	va7b, err := g.DRAMmallocRep(32<<10, 2, 2, 4096, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prev := g.SetOwner(0); prev != 7 {
+		t.Fatalf("SetOwner returned prev %d, want 7", prev)
+	}
+	g.SetOwner(8)
+	va8, err := g.DRAMmalloc(16<<10, 0, 1, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.SetOwner(0)
+
+	for _, tc := range []struct {
+		va    VA
+		owner int
+	}{{va7a, 7}, {va7b, 7}, {va8, 8}} {
+		if got := g.RegionOf(tc.va).Owner; got != tc.owner {
+			t.Errorf("RegionOf(%#x).Owner = %d, want %d", tc.va, got, tc.owner)
+		}
+	}
+
+	// OwnerBytes is the physical footprint: replicas double the bytes.
+	if got := g.OwnerBytes(7); got != 64<<10+2*(32<<10) {
+		t.Errorf("OwnerBytes(7) = %d, want %d", got, 64<<10+2*(32<<10))
+	}
+	if got := g.OwnerBytes(8); got != 16<<10 {
+		t.Errorf("OwnerBytes(8) = %d, want %d", got, 16<<10)
+	}
+	if got := g.OwnerBytes(99); got != 0 {
+		t.Errorf("OwnerBytes(99) = %d, want 0", got)
+	}
+}

@@ -232,3 +232,30 @@ func TestProfiledSweepFillsUtilization(t *testing.T) {
 		t.Errorf("profiled markdown missing utilization columns:\n%s", md)
 	}
 }
+
+func TestFigSchedSmoke(t *testing.T) {
+	res, err := FigSched(FigSchedOptions{
+		Nodes: 2, AccelsPerNode: 2, LanesPerAccel: 8,
+		Scale: 7, Jobs: 6, Loads: []int64{4000}, Seed: 7,
+		Shards: 2, Verify: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("want 1 row, got %d", len(res.Rows))
+	}
+	r := res.Rows[0]
+	if r.DoneJobs+r.RejectedJobs != r.Jobs {
+		t.Fatalf("done %d + rejected %d != submitted %d", r.DoneJobs, r.RejectedJobs, r.Jobs)
+	}
+	if r.DoneJobs == 0 || r.JobsPerSec <= 0 || r.P99Ms < r.P50Ms {
+		t.Fatalf("implausible row: %+v", r)
+	}
+	if res.Verified != r.DoneJobs {
+		t.Fatalf("verified %d of %d done jobs", res.Verified, r.DoneJobs)
+	}
+	if len(r.Tenants) == 0 {
+		t.Fatal("tenant accounting missing")
+	}
+}

@@ -130,6 +130,11 @@ type Recorder struct {
 	repl          ReplCounts
 	shuffleMsgs   int64
 	shuffleTuples int64
+
+	// jobOfNode maps each node to the job currently bound to it (-1 =
+	// unattributed); nil until the first BindJob, which keeps per-job
+	// attribution off the hot path for single-job runs. See jobs.go.
+	jobOfNode []int32
 }
 
 // New builds a recorder for a machine with the given node count.
@@ -209,6 +214,9 @@ func (r *Recorder) ObserveRepl(c ReplCounts) { r.repl = c }
 type ShardView struct {
 	r     *Recorder
 	kinds [nKinds]KindStat
+	// jobs accumulates per-job attribution for nodes this shard owns,
+	// indexed by job ID; merged by Recorder.JobTotals.
+	jobs []JobTotals
 }
 
 // sample returns the bucket for (node, at), growing the node's series.
@@ -236,6 +244,13 @@ func (v *ShardView) Event(node int32, kind uint8, start, charged arch.Cycles, wa
 	if int64(waitq) > b.MaxWaitq {
 		b.MaxWaitq = int64(waitq)
 	}
+	if jn := v.r.jobOfNode; jn != nil {
+		if j := jn[node]; j >= 0 {
+			jt := v.job(j)
+			jt.Events++
+			jt.Busy += int64(charged)
+		}
+	}
 }
 
 // Send records one message injection from a node. backlog64 is the
@@ -250,6 +265,15 @@ func (v *ShardView) Send(node int32, cross bool, backlog64 int64, at arch.Cycles
 			b.InjBacklog64 = backlog64
 		}
 	}
+	if jn := v.r.jobOfNode; jn != nil {
+		if j := jn[node]; j >= 0 {
+			jt := v.job(j)
+			jt.Sends++
+			if cross {
+				jt.XSends++
+			}
+		}
+	}
 }
 
 // DRAM records one memory service at a node's controller: bytes moved and
@@ -259,6 +283,11 @@ func (v *ShardView) DRAM(node int32, bytes, backlog64 int64, at arch.Cycles) {
 	b.DRAMBytes += bytes
 	if backlog64 > b.DRAMBacklog64 {
 		b.DRAMBacklog64 = backlog64
+	}
+	if jn := v.r.jobOfNode; jn != nil {
+		if j := jn[node]; j >= 0 {
+			v.job(j).DRAMBytes += bytes
+		}
 	}
 }
 

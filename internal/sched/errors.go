@@ -1,0 +1,49 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrAdmission is the sentinel wrapped by every admission rejection the
+// scheduler issues, whatever the specific reason. Callers that only care
+// whether a job made it in test errors.Is(err, ErrAdmission); callers
+// that branch on the reason test the specific sentinel (ErrQueueFull,
+// ErrLanesExhausted, ErrBadSpec) — an AdmissionError unwraps to both.
+var ErrAdmission = errors.New("job rejected at admission")
+
+// The admission rejection reasons.
+var (
+	// ErrQueueFull: the admitted-job queue is at Config.MaxQueue and the
+	// arriving job could not displace anything of lower priority (or the
+	// job itself was displaced by a later, higher-priority arrival).
+	ErrQueueFull = errors.New("admission queue full")
+	// ErrLanesExhausted: the lane request exceeds what the machine can
+	// ever provide, so no amount of waiting would place the job.
+	ErrLanesExhausted = errors.New("lane request exceeds machine capacity")
+	// ErrBadSpec: the spec is malformed (no Build, non-positive lane
+	// request, unknown class).
+	ErrBadSpec = errors.New("malformed job spec")
+)
+
+// AdmissionError carries the job identity and the specific reason.
+type AdmissionError struct {
+	// Job is the spec's Name (and tenant, when set) for diagnostics.
+	Job    string
+	Tenant string
+	// Reason is one of ErrQueueFull, ErrLanesExhausted, ErrBadSpec.
+	Reason error
+	// Detail explains the numbers behind the rejection.
+	Detail string
+}
+
+func (e *AdmissionError) Error() string {
+	who := e.Job
+	if e.Tenant != "" {
+		who = e.Tenant + "/" + e.Job
+	}
+	return fmt.Sprintf("sched: job %q %v: %v — %s", who, ErrAdmission, e.Reason, e.Detail)
+}
+
+// Unwrap lets errors.Is match both ErrAdmission and the specific reason.
+func (e *AdmissionError) Unwrap() []error { return []error{ErrAdmission, e.Reason} }

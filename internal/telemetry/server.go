@@ -148,4 +148,37 @@ func WriteProm(b *strings.Builder, s *Snapshot) {
 		n := &s.Nodes[i]
 		fmt.Fprintf(b, "updown_node_inj_backlog_cycles{node=\"%d\"} %d\n", n.Node, n.InjBacklog)
 	}
+	if len(s.Jobs) > 0 {
+		fmt.Fprintf(b, "# HELP updown_job_state scheduler job state (1 = listed state is current)\n# TYPE updown_job_state gauge\n")
+		for i := range s.Jobs {
+			j := &s.Jobs[i]
+			fmt.Fprintf(b, "updown_job_state{job=\"%d\",tenant=%q,class=%q,state=%q} 1\n",
+				j.ID, j.Tenant, j.Class, j.State)
+		}
+		fmt.Fprintf(b, "# HELP updown_job_lanes lanes held by each scheduler job\n# TYPE updown_job_lanes gauge\n")
+		for i := range s.Jobs {
+			j := &s.Jobs[i]
+			fmt.Fprintf(b, "updown_job_lanes{job=\"%d\",tenant=%q} %d\n", j.ID, j.Tenant, j.Lanes)
+		}
+		fmt.Fprintf(b, "# HELP updown_job_busy_cycles_total busy cycles attributed to each scheduler job\n# TYPE updown_job_busy_cycles_total counter\n")
+		for i := range s.Jobs {
+			j := &s.Jobs[i]
+			fmt.Fprintf(b, "updown_job_busy_cycles_total{job=\"%d\",tenant=%q} %d\n", j.ID, j.Tenant, j.Busy)
+		}
+		fmt.Fprintf(b, "# HELP updown_job_events_total events attributed to each scheduler job\n# TYPE updown_job_events_total counter\n")
+		for i := range s.Jobs {
+			j := &s.Jobs[i]
+			fmt.Fprintf(b, "updown_job_events_total{job=\"%d\",tenant=%q} %d\n", j.ID, j.Tenant, j.Events)
+		}
+		fmt.Fprintf(b, "# HELP updown_job_dram_bytes_total DRAM bytes attributed to each scheduler job\n# TYPE updown_job_dram_bytes_total counter\n")
+		for i := range s.Jobs {
+			j := &s.Jobs[i]
+			fmt.Fprintf(b, "updown_job_dram_bytes_total{job=\"%d\",tenant=%q} %d\n", j.ID, j.Tenant, j.DRAMBytes)
+		}
+		fmt.Fprintf(b, "# HELP updown_job_alloc_bytes DRAM footprint allocated by each scheduler job's build phase\n# TYPE updown_job_alloc_bytes gauge\n")
+		for i := range s.Jobs {
+			j := &s.Jobs[i]
+			fmt.Fprintf(b, "updown_job_alloc_bytes{job=\"%d\",tenant=%q} %d\n", j.ID, j.Tenant, j.AllocBytes)
+		}
+	}
 }

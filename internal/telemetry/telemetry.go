@@ -49,6 +49,38 @@ type NodeStat struct {
 	InjBacklog int64 `json:"inj_backlog"`
 }
 
+// JobStat is one scheduler job's row in a Snapshot, filled by the
+// scheduler's Aux hook when a job scheduler is driving the machine.
+type JobStat struct {
+	// ID is the scheduler-assigned job number.
+	ID int `json:"id"`
+	// Name, Tenant and Class echo the job spec.
+	Name   string `json:"name"`
+	Tenant string `json:"tenant"`
+	Class  string `json:"class"`
+	// State is the reconcile-loop state name (pending, admitted, placed,
+	// running, done, failed).
+	State string `json:"state"`
+	// FirstLane and Lanes describe the placed partition (zero while the
+	// job is queued).
+	FirstLane int `json:"first_lane"`
+	Lanes     int `json:"lanes"`
+	// SubmitCycle, StartCycle and DoneCycle are simulated-time marks;
+	// Start/Done are -1 until the transition happens.
+	SubmitCycle int64 `json:"submit_cycle"`
+	StartCycle  int64 `json:"start_cycle"`
+	DoneCycle   int64 `json:"done_cycle"`
+	// Per-job attribution counters (metrics.JobTotals at the snapshot
+	// barrier).
+	Busy      int64 `json:"busy_cycles"`
+	Events    int64 `json:"events"`
+	Sends     int64 `json:"sends"`
+	DRAMBytes int64 `json:"dram_bytes"`
+	// AllocBytes is the DRAM footprint the job's build phase allocated
+	// (gasmem owner tagging; replicas included).
+	AllocBytes int64 `json:"alloc_bytes"`
+}
+
 // Snapshot is one immutable observation of a running simulation,
 // published at a window barrier. All counters are cumulative since the
 // engine was built (they accumulate across multi-phase Runs, matching
@@ -95,6 +127,10 @@ type Snapshot struct {
 
 	// Nodes holds one entry per machine node, indexed by node.
 	Nodes []NodeStat `json:"nodes"`
+
+	// Jobs holds one row per scheduler job (submitted so far), filled by
+	// the scheduler's Aux hook; empty for single-job runs.
+	Jobs []JobStat `json:"jobs,omitempty"`
 }
 
 // ETASeconds estimates the wall seconds remaining until SimTime reaches

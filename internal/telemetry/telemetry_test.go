@@ -30,6 +30,14 @@ func sampleSnapshot() *Snapshot {
 			{Node: 0, Busy: 1000, InjBacklog: 12},
 			{Node: 1, Busy: 900},
 		},
+		Jobs: []JobStat{
+			{ID: 0, Name: "bfs-a", Tenant: "acme", Class: "batch", State: "done",
+				FirstLane: 0, Lanes: 64, SubmitCycle: 0, StartCycle: 1, DoneCycle: 30000,
+				Busy: 5000, Events: 600, Sends: 500, DRAMBytes: 2048, AllocBytes: 65536},
+			{ID: 1, Name: "pr-b", Tenant: "globex", Class: "interactive", State: "running",
+				FirstLane: 64, Lanes: 64, SubmitCycle: 100, StartCycle: 200, DoneCycle: -1,
+				Busy: 3000, Events: 400, Sends: 300, DRAMBytes: 1024, AllocBytes: 32768},
+		},
 	}
 }
 
@@ -148,6 +156,21 @@ func TestWritePromDecodes(t *testing.T) {
 	}
 	if got := counts["updown_node_inj_backlog_cycles"]; got != 2 {
 		t.Errorf("inj backlog series = %d, want one per node", got)
+	}
+	if got := counts["updown_job_state"]; got != 2 {
+		t.Errorf("job state series = %d, want one per job", got)
+	}
+	if got := series[`updown_job_busy_cycles_total{job="1",tenant="globex"}`]; got != 3000 {
+		t.Errorf("job 1 busy = %v, want 3000", got)
+	}
+	if got := series[`updown_job_lanes{job="0",tenant="acme"}`]; got != 64 {
+		t.Errorf("job 0 lanes = %v, want 64", got)
+	}
+	if got := series[`updown_job_alloc_bytes{job="1",tenant="globex"}`]; got != 32768 {
+		t.Errorf("job 1 alloc bytes = %v, want 32768", got)
+	}
+	if got := series[`updown_job_dram_bytes_total{job="0",tenant="acme"}`]; got != 2048 {
+		t.Errorf("job 0 dram bytes = %v, want 2048", got)
 	}
 }
 
@@ -306,6 +329,14 @@ func TestServerHandlers(t *testing.T) {
 	}
 	if st["sim_time"].(float64) != 40000 {
 		t.Errorf("/status sim_time = %v, want 40000", st["sim_time"])
+	}
+	jobs, ok := st["jobs"].([]any)
+	if !ok || len(jobs) != 2 {
+		t.Fatalf("/status jobs = %v, want 2 rows", st["jobs"])
+	}
+	row := jobs[1].(map[string]any)
+	if row["tenant"] != "globex" || row["state"] != "running" || row["lanes"].(float64) != 64 {
+		t.Errorf("/status job row = %v, want globex/running/64 lanes", row)
 	}
 
 	if code, body, _ := get("/metrics"); code != 200 {

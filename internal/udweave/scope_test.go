@@ -1,0 +1,85 @@
+package udweave_test
+
+import (
+	"testing"
+
+	"updown/internal/udweave"
+)
+
+// TestScopeRecycling checks that retiring a scope returns its labels and
+// slots for reuse, and that recycled slots come back cleared on lanes
+// that had populated them.
+func TestScopeRecycling(t *testing.T) {
+	r := newRig(t, 1)
+	free0 := r.prog.FreeLabels()
+
+	var slot int
+	sc := r.prog.Begin("job-a")
+	lSet := r.prog.Define("a.set", func(c *udweave.Ctx) {
+		c.LocalSlot(slot, func() any { return new(int) })
+		c.YieldTerminate()
+	})
+	slot = r.prog.AllocSlot()
+	r.prog.End()
+
+	if got := r.prog.FreeLabels(); got != free0-1 {
+		t.Fatalf("FreeLabels after Define = %d, want %d", got, free0-1)
+	}
+
+	// Populate the slot on lane 0, then retire the scope.
+	r.start(udweave.EvwNew(0, lSet))
+	r.run(t)
+	r.prog.Retire(sc)
+	if got := r.prog.FreeLabels(); got != free0 {
+		t.Fatalf("FreeLabels after Retire = %d, want %d", got, free0)
+	}
+
+	// The next scope must reuse the same label and slot numbers, and the
+	// slot must read as uninitialized again.
+	pristine := make(chan bool, 1)
+	sc2 := r.prog.Begin("job-b")
+	var slot2 int
+	lCheck := r.prog.Define("b.check", func(c *udweave.Ctx) {
+		fresh := false
+		c.LocalSlot(slot2, func() any { fresh = true; return new(int) })
+		pristine <- fresh
+		c.YieldTerminate()
+	})
+	slot2 = r.prog.AllocSlot()
+	r.prog.End()
+	if lCheck != lSet {
+		t.Errorf("recycled label = %d, want %d", lCheck, lSet)
+	}
+	if slot2 != slot {
+		t.Errorf("recycled slot = %d, want %d", slot2, slot)
+	}
+	r.start(udweave.EvwNew(0, lCheck))
+	r.run(t)
+	if !<-pristine {
+		t.Error("recycled slot still held the retired scope's value")
+	}
+	r.prog.Retire(sc2)
+}
+
+// TestScopeMisuse checks the guard panics: nested Begin, End without
+// Begin, double Retire, and Retire of an open scope.
+func TestScopeMisuse(t *testing.T) {
+	r := newRig(t, 1)
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+
+	sc := r.prog.Begin("open")
+	expectPanic("nested Begin", func() { r.prog.Begin("inner") })
+	expectPanic("Retire open scope", func() { r.prog.Retire(sc) })
+	r.prog.End()
+	expectPanic("End without Begin", func() { r.prog.End() })
+	r.prog.Retire(sc)
+	expectPanic("double Retire", func() { r.prog.Retire(sc) })
+}

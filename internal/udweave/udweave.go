@@ -13,6 +13,7 @@ package udweave
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"updown/internal/arch"
 	"updown/internal/gasmem"
@@ -35,6 +36,18 @@ type Program struct {
 	// messages; the lane intercepts it and dispatches the thread's armed
 	// recovery label instead (stale timers are swallowed).
 	lTimeout Label
+
+	// scope, when non-nil, records Define/AllocSlot calls so a completed
+	// job's labels and slots can be recycled (see Scope); freeLabels and
+	// freeSlots hold the recycled entries Define/AllocSlot reuse first.
+	scope      *Scope
+	freeLabels []Label
+	freeSlots  []int
+	// lanes registers every lane this program instantiated, so Retire can
+	// clear recycled slots lane-wide. Guarded by laneMu: the engine
+	// materializes lanes lazily from its shard workers.
+	laneMu sync.Mutex
+	lanes  []*Lane
 }
 
 // NewProgram creates an empty program for the given machine.
@@ -49,23 +62,49 @@ func NewProgram(m arch.Machine, gas *gasmem.GAS) *Program {
 	return p
 }
 
-// Define registers an event handler and returns its Label.
+// Define registers an event handler and returns its Label. Retired
+// labels are reused before the table grows; the 12-bit label space
+// therefore bounds the concurrently live handlers, not the total ever
+// defined.
 func (p *Program) Define(name string, h Handler) Label {
-	if len(p.handlers) > maxLabel {
-		panic("udweave: label space exhausted")
+	var l Label
+	if n := len(p.freeLabels); n > 0 {
+		l = p.freeLabels[n-1]
+		p.freeLabels = p.freeLabels[:n-1]
+		p.handlers[l] = h
+		p.names[l] = name
+	} else {
+		if len(p.handlers) > maxLabel {
+			panic("udweave: label space exhausted")
+		}
+		p.handlers = append(p.handlers, h)
+		p.names = append(p.names, name)
+		l = Label(len(p.handlers) - 1)
 	}
-	p.handlers = append(p.handlers, h)
-	p.names = append(p.names, name)
-	return Label(len(p.handlers) - 1)
+	if p.scope != nil {
+		p.scope.labels = append(p.scope.labels, l)
+	}
+	return l
 }
 
 // AllocSlot reserves one lane-local storage slot, shared by all lanes.
 // Libraries (KVMSR, combining cache, SHT) allocate a slot per instance at
 // program-construction time; slot access is an array index, unlike the
-// string-keyed LaneLocal map.
+// string-keyed LaneLocal map. Retired slots are reused first (their
+// lane-local contents were cleared at Retire).
 func (p *Program) AllocSlot() int {
-	p.numSlots++
-	return p.numSlots - 1
+	var s int
+	if n := len(p.freeSlots); n > 0 {
+		s = p.freeSlots[n-1]
+		p.freeSlots = p.freeSlots[:n-1]
+	} else {
+		s = p.numSlots
+		p.numSlots++
+	}
+	if p.scope != nil {
+		p.scope.slots = append(p.scope.slots, s)
+	}
+	return s
 }
 
 // Name returns the registered name of a label (diagnostics).
@@ -81,10 +120,14 @@ func (p *Program) Name(l Label) string {
 func (p *Program) NewLane(id arch.NetworkID) sim.Actor {
 	// Trace track: one "process" per node, one "thread" per lane (tid 0 is
 	// reserved for the node's counter tracks).
-	return &Lane{p: p, id: id,
+	l := &Lane{p: p, id: id,
 		pid: int32(p.M.NodeOf(id)),
 		tid: int32(int(id)%p.M.LanesPerNode()) + 1,
 	}
+	p.laneMu.Lock()
+	p.lanes = append(p.lanes, l)
+	p.laneMu.Unlock()
+	return l
 }
 
 // Thread is one software-managed thread context on a lane. Events of a

@@ -41,3 +41,11 @@ go run ./cmd/benchdiff -max-regress 100
 go run ./cmd/figchaos -rep 2 -scale 8
 go run ./cmd/fig12 -scale 10 -mem 4 -compute 4 -reps 2 \
     | awk '/^k=2/ { if ($8 <= 1.0) { print "fig12 k=2 dramx <= 1: no write fan-out measured"; exit 1 } found=1 } END { exit !found }'
+
+# Scheduler smoke: a small multi-tenant sweep with -verify replays every
+# completed job solo, pinned to the same nodes, and exits nonzero unless
+# outputs, completion cycles and attributed totals are bit-identical to
+# the concurrent run; the race detector covers the scheduler package's
+# reconcile loop over the sharded engine.
+go test -race -count=1 ./internal/sched/
+go run ./cmd/figsched -nodes 4 -scale 8 -jobs 8 -loads 8000,3000 -verify

@@ -162,6 +162,10 @@ type Machine struct {
 	// Coalesce echoes Config.Coalesce for applications to pass into
 	// their KVMSR specs; nil means one shuffle message per tuple.
 	Coalesce *kvmsr.Coalesce
+	// Telemetry echoes Config.Telemetry so layers above the machine (the
+	// job scheduler) can chain their own Aux snapshot enrichment onto the
+	// one installed by New; nil when the live plane is disabled.
+	Telemetry *telemetry.Publisher
 }
 
 // New assembles a machine.
@@ -259,7 +263,8 @@ func New(cfg Config) (*Machine, error) {
 		}
 	}
 	return &Machine{Arch: a, Engine: eng, GAS: gas, Prog: prog, Ctrls: ctrls,
-		Metrics: rec, Trace: tr, Resilience: cfg.Resilience, Coalesce: cfg.Coalesce}, nil
+		Metrics: rec, Trace: tr, Resilience: cfg.Resilience, Coalesce: cfg.Coalesce,
+		Telemetry: cfg.Telemetry}, nil
 }
 
 // replCounts sums the replication-layer counters across the machine's
@@ -291,6 +296,16 @@ func (m *Machine) Start(evw uint64, ops ...uint64) {
 // StartWithCont is Start with an explicit continuation word.
 func (m *Machine) StartWithCont(evw, cont uint64, ops ...uint64) {
 	m.Engine.Post(0, udweave.EvwNetworkID(evw), arch.KindEvent, evw, cont, ops...)
+}
+
+// StartAt posts an initial event for delivery at simulated cycle t. A
+// scheduler interleaving host work with RunUntil slices uses it to
+// launch a job strictly beyond the already-simulated frontier, so the
+// resident machine's event order stays well defined: after RunUntil(t)
+// every message at or before t has been processed, and a job posted at
+// t+1 is pure future. Host-side only, engine quiesced.
+func (m *Machine) StartAt(t Cycles, evw uint64, ops ...uint64) {
+	m.Engine.Post(t, udweave.EvwNetworkID(evw), arch.KindEvent, evw, udweave.IGNRCONT, ops...)
 }
 
 // Run simulates to quiescence. After the run the replication-layer
