@@ -15,9 +15,11 @@
 // Entries store per-benchmark variant maps ({"before": ..., "after":
 // ...} or {"adaptive": ...}); the comparison reads each configuration's
 // preferred variant — "after", then "adaptive", then "jobs_per_sec",
-// then the sole numeric value — so entries with different variant
-// vocabularies still line up. Only configurations present on both sides
-// are compared.
+// then "queries_per_sec", then the sole numeric value — so entries with
+// different variant vocabularies still line up. Only configurations
+// present on both sides are compared. Latency-style keys (*_ms,
+// *_cycles) compare with inverted polarity: a p99_ms increase is the
+// regression.
 //
 // Besides the {"entries": [...]} history shape, benchdiff also reads
 // the single-document acceptance files (BENCH_kvmsr.json,
@@ -249,11 +251,12 @@ func flatten(raw json.RawMessage) map[string]float64 {
 
 // preferred extracts the comparable rate from a variant map: "after"
 // (before/after entries), then "adaptive", then "jobs_per_sec" (a
-// figsched row collapses to its completion throughput), then the sole
-// numeric field. Multi-variant maps without a preferred key are not
-// leaves.
+// figsched row collapses to its completion throughput), then
+// "queries_per_sec" (a figserve row collapses to its serving
+// throughput), then the sole numeric field. Multi-variant maps without
+// a preferred key are not leaves.
 func preferred(m map[string]any) (float64, bool) {
-	for _, k := range []string{"after", "adaptive", "jobs_per_sec"} {
+	for _, k := range []string{"after", "adaptive", "jobs_per_sec", "queries_per_sec"} {
 		if v, ok := m[k].(float64); ok {
 			return v, true
 		}
@@ -288,8 +291,22 @@ type diffRow struct {
 	old, new, pct float64
 }
 
+// lowerIsBetter reports whether a configuration key is a latency-style
+// metric (milliseconds, cycle counts): BENCH_serve.json carries p50_ms /
+// p99_ms leaves where an increase is the regression, not a gain.
+func lowerIsBetter(name string) bool {
+	last := name
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		last = name[i+1:]
+	}
+	return strings.HasSuffix(last, "_ms") || strings.HasSuffix(last, "_cycles") ||
+		strings.Contains(last, "p99_ms") || strings.Contains(last, "p50_ms")
+}
+
 // diff lines up the configurations present on both sides and returns
 // them sorted by name, plus the worst (most negative) percent delta.
+// Latency-style keys compare with inverted polarity: delta% is positive
+// when the metric dropped.
 func diff(oldFlat, newFlat map[string]float64) ([]diffRow, float64) {
 	var rows []diffRow
 	worst := 0.0
@@ -298,7 +315,15 @@ func diff(oldFlat, newFlat map[string]float64) ([]diffRow, float64) {
 		if !ok || ov <= 0 {
 			continue
 		}
-		pct := 100 * (nv/ov - 1)
+		var pct float64
+		if lowerIsBetter(name) {
+			if nv <= 0 {
+				continue
+			}
+			pct = 100 * (ov/nv - 1)
+		} else {
+			pct = 100 * (nv/ov - 1)
+		}
 		if pct < worst {
 			worst = pct
 		}

@@ -258,3 +258,64 @@ func TestDiffAcrossAdHocFiles(t *testing.T) {
 		t.Fatalf("worst delta = %v, want -25", worst)
 	}
 }
+
+func TestFlattenCollapsesServeRows(t *testing.T) {
+	// A figserve row carries queries_per_sec plus latency fields: the
+	// row collapses to its serving throughput, while the comparison
+	// block's plain latency leaves stay individually comparable.
+	raw := json.RawMessage(`{
+		"fused": {"rows": [
+			{"mean_gap_cycles": 4000, "queries_per_sec": 19624.1, "p99_ms": 2.35},
+			{"mean_gap_cycles": 2000, "queries_per_sec": 27735.3, "p99_ms": 1.71}
+		]},
+		"comparison": {
+			"saturation_qps": {"fused": 27735.3, "unfused": 10918.9},
+			"saturation_p99_ms": {"fused": 1.71, "unfused": 4.36}
+		}
+	}`)
+	got := flatten(raw)
+	want := map[string]float64{
+		"fused/rows/0":                         19624.1,
+		"fused/rows/1":                         27735.3,
+		"comparison/saturation_qps/fused":      27735.3,
+		"comparison/saturation_qps/unfused":    10918.9,
+		"comparison/saturation_p99_ms/fused":   1.71,
+		"comparison/saturation_p99_ms/unfused": 4.36,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("flatten: got %d keys %v, want %d", len(got), got, len(want))
+	}
+	for k, w := range want {
+		if g, ok := got[k]; !ok || !almost(g, w) {
+			t.Errorf("flatten[%q] = %v (present=%v), want %v", k, g, ok, w)
+		}
+	}
+}
+
+func TestDiffLatencyPolarity(t *testing.T) {
+	// Latency keys invert: p99 dropping from 4 to 2 ms is a +100% gain,
+	// rising from 2 to 4 ms is a -50% regression; throughput keys keep
+	// higher-is-better polarity.
+	oldFlat := map[string]float64{"rows/0/p99_ms": 4, "rows/1/p99_ms": 2, "qps": 10}
+	newFlat := map[string]float64{"rows/0/p99_ms": 2, "rows/1/p99_ms": 4, "qps": 10}
+	rows, worst := diff(oldFlat, newFlat)
+	if len(rows) != 3 {
+		t.Fatalf("diff rows = %d, want 3: %v", len(rows), rows)
+	}
+	byName := map[string]float64{}
+	for _, r := range rows {
+		byName[r.name] = r.pct
+	}
+	if !almost(byName["rows/0/p99_ms"], 100) {
+		t.Errorf("improved p99 pct = %v, want +100", byName["rows/0/p99_ms"])
+	}
+	if !almost(byName["rows/1/p99_ms"], -50) {
+		t.Errorf("regressed p99 pct = %v, want -50", byName["rows/1/p99_ms"])
+	}
+	if !almost(byName["qps"], 0) {
+		t.Errorf("flat qps pct = %v, want 0", byName["qps"])
+	}
+	if !almost(worst, -50) {
+		t.Fatalf("worst = %v, want -50", worst)
+	}
+}

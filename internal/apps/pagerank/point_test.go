@@ -1,0 +1,109 @@
+package pagerank_test
+
+import (
+	"testing"
+
+	"updown"
+	"updown/internal/apps/pagerank"
+	"updown/internal/graph"
+	"updown/internal/kvmsr"
+)
+
+func pointMachine(t *testing.T, g *graph.Graph, nodes, shards, slots int) (*updown.Machine, *pagerank.PointPPR) {
+	t.Helper()
+	m, err := updown.New(updown.Config{Nodes: nodes, Shards: shards, MaxTime: 1 << 42,
+		Coalesce: &kvmsr.Coalesce{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := graph.Split(g, 16)
+	dg, err := graph.LoadToGAS(m.GAS, s, graph.DefaultPlacement(nodes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := pagerank.NewPoint(m, dg, pagerank.PointConfig{Slots: slots})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, e
+}
+
+// Every point score must be bit-equal to the host fixed-point forward
+// push — the integer arithmetic makes the device sum exact, so this is
+// equality, not epsilon comparison. Mass conservation is checked too:
+// settled plus dropped mass is exactly FixOne in the reference.
+func TestPointPPRMatchesHostRef(t *testing.T) {
+	g := graph.FromEdges(256, graph.DefaultRMAT(8, 15), graph.BuildOptions{
+		Undirected: true, Dedup: true, DropSelfLoops: true, SortNeighbors: true})
+	m, e := pointMachine(t, g, 2, 1, 4)
+
+	type q struct{ src, tgt uint32 }
+	batches := [][]q{
+		{{28, 0}, {0, 200}, {5, 5}, {100, 7}},
+		{{28, 255}, {17, 3}},        // partial batch: slots 2,3 idle
+		{{1, 250}, {2, 2}, {9, 40}}, // reuse after recycle
+	}
+	refs := map[uint32][]uint64{}
+	var frontier updown.Cycles
+	for bi, batch := range batches {
+		for s, qq := range batch {
+			e.Seed(s, qq.src, qq.tgt)
+		}
+		e.Post(frontier + 1)
+		if _, err := m.Run(); err != nil {
+			t.Fatalf("batch %d: %v", bi, err)
+		}
+		done, ok := e.BatchDone()
+		if !ok {
+			t.Fatalf("batch %d did not complete", bi)
+		}
+		frontier = done
+		for s, qq := range batch {
+			ref, seen := refs[qq.src]
+			if !seen {
+				ref = pagerank.RefScores(g, qq.src, 0)
+				refs[qq.src] = ref
+			}
+			if got, want := e.Result(s), ref[qq.tgt]; got != want {
+				t.Fatalf("batch %d slot %d (%d->%d): got %#x, want %#x", bi, s, qq.src, qq.tgt, got, want)
+			}
+			if dc := e.DoneCycle(s); dc <= 0 {
+				t.Fatalf("batch %d slot %d: done cycle %d", bi, s, dc)
+			}
+			e.Recycle(s)
+		}
+	}
+	// The self-query must carry mass: p[src] always keeps at least the
+	// settled remainder of the initial unit.
+	if sc := pagerank.RefScores(g, 5, 0)[5]; sc == 0 {
+		t.Fatal("self PPR score is zero")
+	}
+}
+
+// Batching must not change any score: each query of a shared batch is
+// pinned to the solo single-slot result on an identically built machine.
+func TestPointPPRBatchEqualsSolo(t *testing.T) {
+	g := graph.FromEdges(256, graph.DefaultRMAT(8, 12), graph.BuildOptions{
+		Undirected: true, Dedup: true, DropSelfLoops: true, SortNeighbors: true})
+	queries := []struct{ src, tgt uint32 }{{28, 0}, {3, 150}, {77, 12}, {0, 255}}
+
+	m, e := pointMachine(t, g, 2, 1, len(queries))
+	for s, q := range queries {
+		e.Seed(s, q.src, q.tgt)
+	}
+	e.Post(1)
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for s, q := range queries {
+		sm, se := pointMachine(t, g, 2, 1, len(queries))
+		se.Seed(0, q.src, q.tgt)
+		se.Post(1)
+		if _, err := sm.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if b, solo := e.Result(s), se.Result(0); b != solo {
+			t.Fatalf("query %d->%d: batched %#x != solo %#x", q.src, q.tgt, b, solo)
+		}
+	}
+}

@@ -1,0 +1,200 @@
+package gasmem
+
+import (
+	"bytes"
+	"testing"
+
+	"updown/internal/prng"
+)
+
+// A stack-like allocate/free cycle (the serving-loop lifetime pattern) must
+// keep the per-node footprint flat: every freed hole coalesces back into
+// the bump pointer, so N query cycles cost the same bytes as one.
+func TestFreeOwnerFlatFootprint(t *testing.T) {
+	g := New(4, 1<<30)
+	var highWater uint64
+	for q := 0; q < 64; q++ {
+		prev := g.SetOwner(100 + q)
+		if _, err := g.DRAMmalloc(1<<18, 0, 4, 4096); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := g.DRAMmalloc(1<<16, 0, 4, 1024); err != nil {
+			t.Fatal(err)
+		}
+		g.SetOwner(prev)
+		if q == 0 {
+			highWater = g.UsedBytes(0)
+		} else if got := g.UsedBytes(0); got != highWater {
+			t.Fatalf("query %d: node 0 footprint %d, want flat %d", q, got, highWater)
+		}
+		if freed := g.FreeOwner(100 + q); freed == 0 {
+			t.Fatalf("query %d: FreeOwner reclaimed nothing", q)
+		}
+		if g.OwnerBytes(100+q) != 0 {
+			t.Fatalf("query %d: OwnerBytes nonzero after FreeOwner", q)
+		}
+	}
+	for n := 0; n < 4; n++ {
+		if got := g.FreeBytes(n); got != 0 {
+			t.Fatalf("node %d: %d bytes stranded on free list, want full coalesce", n, got)
+		}
+	}
+}
+
+// Freeing an interior owner leaves a hole that a later same-shape
+// allocation reuses (no footprint growth), and the reused store reads as
+// zero like any fresh allocation.
+func TestFreeListReuseZeroes(t *testing.T) {
+	g := New(2, 1<<30)
+	g.SetOwner(1)
+	a, _ := g.DRAMmalloc(1<<16, 0, 2, 1024)
+	g.SetOwner(2)
+	if _, err := g.DRAMmalloc(1<<16, 0, 2, 1024); err != nil {
+		t.Fatal(err)
+	}
+	g.SetOwner(0)
+	// Dirty owner 1's region, then free it: the hole is interior (owner 2
+	// sits above), so it lands on the free list rather than the bump ptr.
+	for i := uint64(0); i < 1<<13; i++ {
+		g.WriteU64(a+i*WordBytes, 0xdead)
+	}
+	before := g.UsedBytes(0)
+	if freed := g.FreeOwner(1); freed != 1<<16 {
+		t.Fatalf("FreeOwner = %d, want %d", freed, 1<<16)
+	}
+	if g.FreeBytes(0) == 0 {
+		t.Fatal("interior hole should be parked on the free list")
+	}
+	g.SetOwner(3)
+	b, err := g.DRAMmalloc(1<<16, 0, 2, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.UsedBytes(0); got != before {
+		t.Fatalf("reuse grew footprint: %d -> %d", before, got)
+	}
+	if b == a {
+		t.Fatal("VAs must never be recycled")
+	}
+	for i := uint64(0); i < 1<<13; i++ {
+		if v := g.ReadU64(b + i*WordBytes); v != 0 {
+			t.Fatalf("reused word %d = %#x, want 0", i, v)
+		}
+	}
+}
+
+// A freed region's VAs must fault like any unmapped address — the
+// use-after-free analogue of a hardware translation fault.
+func TestFreeOwnerUnmapsVAs(t *testing.T) {
+	g := New(2, 1<<30)
+	g.SetOwner(7)
+	va, _ := g.DRAMmalloc(1<<14, 0, 2, 1024)
+	g.SetOwner(0)
+	g.FreeOwner(7)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("read of freed VA did not fault")
+		}
+	}()
+	g.ReadU64(va)
+}
+
+// Randomized alternation of variable-size allocations and frees across
+// interleaved owners: the free list must stay internally consistent
+// (best-fit reuse, coalescing, bump-pointer trim) and data in live regions
+// must survive every reclamation of its neighbors.
+func TestFreeListFuzz(t *testing.T) {
+	rng := prng.NewStream(0xF4EE11)
+	g := New(4, 1<<26)
+	type live struct {
+		owner int
+		va    VA
+		words uint64
+	}
+	var regions []live
+	next := 1
+	for step := 0; step < 400; step++ {
+		if len(regions) > 0 && rng.Uint64n(2) == 0 {
+			i := int(rng.Uint64n(uint64(len(regions))))
+			r := regions[i]
+			if g.FreeOwner(r.owner) == 0 {
+				t.Fatalf("step %d: FreeOwner(%d) reclaimed nothing", step, r.owner)
+			}
+			regions = append(regions[:i], regions[i+1:]...)
+		} else {
+			size := (rng.Uint64n(64) + 1) * 4096
+			prev := g.SetOwner(next)
+			va, err := g.DRAMmalloc(size, 0, 4, 1024)
+			g.SetOwner(prev)
+			if err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+			words := size / WordBytes
+			for w := uint64(0); w < words; w += 97 {
+				g.WriteU64(va+w*WordBytes, uint64(next)<<32|w)
+			}
+			regions = append(regions, live{owner: next, va: va, words: words})
+			next++
+		}
+		for _, r := range regions {
+			for w := uint64(0); w < r.words; w += 97 {
+				if got := g.ReadU64(r.va + w*WordBytes); got != uint64(r.owner)<<32|w {
+					t.Fatalf("step %d: owner %d word %d = %#x", step, r.owner, w, got)
+				}
+			}
+		}
+	}
+}
+
+// Snapshot v3 must round-trip free lists and owner tags: a restored
+// machine keeps reclaiming and reusing exactly like the original.
+func TestSnapshotCarriesFreeListAndOwner(t *testing.T) {
+	g := New(2, 1<<26)
+	g.SetOwner(1)
+	g.DRAMmalloc(1<<14, 0, 2, 1024)
+	g.SetOwner(2)
+	keep, _ := g.DRAMmalloc(1<<14, 0, 2, 1024)
+	g.SetOwner(0)
+	g.WriteU64(keep, 99)
+	g.FreeOwner(1) // interior hole → lands on free list
+
+	var buf bytes.Buffer
+	if err := g.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r := New(2, 1<<26)
+	if err := r.RestoreSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := r.FreeBytes(0), g.FreeBytes(0); got != want {
+		t.Fatalf("restored free list = %d bytes, want %d", got, want)
+	}
+	if got := r.OwnerBytes(2); got != g.OwnerBytes(2) || got == 0 {
+		t.Fatalf("restored OwnerBytes(2) = %d, want %d (nonzero)", got, g.OwnerBytes(2))
+	}
+	if v := r.ReadU64(keep); v != 99 {
+		t.Fatalf("restored data = %d, want 99", v)
+	}
+	// The restored machine reclaims owner 2 and reuses the hole just like
+	// the original would.
+	before := r.UsedBytes(0)
+	r.FreeOwner(2)
+	r.SetOwner(3)
+	if _, err := r.DRAMmalloc(1<<14, 0, 2, 1024); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.UsedBytes(0); got > before {
+		t.Fatalf("restored machine failed to reuse: %d -> %d", before, got)
+	}
+	// Canonical encoding: snapshotting the restored space reproduces the
+	// original bytes when state is equal.
+	var b1, b2 bytes.Buffer
+	g.FreeOwner(2)
+	g.SetOwner(3)
+	g.DRAMmalloc(1<<14, 0, 2, 1024)
+	g.Snapshot(&b1)
+	r.Snapshot(&b2)
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("snapshot bytes diverge after identical post-restore ops")
+	}
+}

@@ -119,6 +119,15 @@ func (r *Region) ReplicaIndexOn(va VA, node int) (j int, ok bool) {
 // Contains reports whether va falls inside the region.
 func (r *Region) Contains(va VA) bool { return va >= r.Base && va < r.Base+r.Size }
 
+// extent is one reusable hole in a node's physical store: [Off, Off+Size)
+// bytes previously occupied by a reclaimed region. Per-node free lists are
+// kept sorted by offset and coalesced, so stack-like allocate/free cycles
+// collapse back into the bump pointer and the node's footprint stays flat.
+type extent struct {
+	Off  uint64
+	Size uint64
+}
+
 // GAS is the global address space of one simulated machine: per-node
 // backing stores plus the set of allocated regions.
 //
@@ -132,7 +141,8 @@ type GAS struct {
 	nodes    int
 	capacity uint64
 	store    [][]uint64 // per node, word-addressed
-	used     []uint64   // per node, bytes bump-allocated
+	used     []uint64   // per node, bytes bump-allocated (high-water)
+	free     [][]extent // per node, reclaimed holes sorted by Off, coalesced
 	regions  []*Region  // sorted by Base
 	nextVA   VA
 
@@ -161,6 +171,7 @@ func New(n int, capBytes uint64) *GAS {
 		capacity: capBytes,
 		store:    make([][]uint64, n),
 		used:     make([]uint64, n),
+		free:     make([][]extent, n),
 		nextVA:   vaBase,
 	}
 }
@@ -233,15 +244,40 @@ func (g *GAS) DRAMmallocRep(size uint64, firstNode, nrNodes int, bs uint64, rep 
 		nodeMask:  uint64(nrNodes - 1),
 	}
 	footprint := perNode * uint64(rep)
+	// Plan placement per node before touching any state, so a capacity
+	// failure on a later node leaves the address space unmodified. Each
+	// node first tries the free list (best-fit over reclaimed holes), then
+	// falls back to the bump pointer.
+	type placement struct {
+		off   uint64
+		reuse bool
+	}
+	plans := make([]placement, nrNodes)
 	for i := 0; i < nrNodes; i++ {
-		if node := firstNode + i; g.used[node]+footprint > g.capacity {
+		node := firstNode + i
+		if off, ok := g.bestFit(node, footprint); ok {
+			plans[i] = placement{off: off, reuse: true}
+			continue
+		}
+		if g.used[node]+footprint > g.capacity {
 			return 0, fmt.Errorf("gasmem: node %d over capacity (%d + %d > %d)", node, g.used[node], footprint, g.capacity)
 		}
+		plans[i] = placement{off: g.used[node]}
 	}
 	for i := 0; i < nrNodes; i++ {
 		node := firstNode + i
 		r.nodes[i] = int32(node)
-		r.physBase[i] = g.used[node]
+		r.physBase[i] = plans[i].off
+		if plans[i].reuse {
+			g.takeExtent(node, plans[i].off, footprint)
+			// Reused store bytes must read as zero, matching a fresh
+			// bump allocation.
+			zero := g.store[node][plans[i].off/WordBytes : (plans[i].off+footprint)/WordBytes]
+			for j := range zero {
+				zero[j] = 0
+			}
+			continue
+		}
 		g.used[node] += footprint
 		need := (g.used[node] + WordBytes - 1) / WordBytes
 		if uint64(len(g.store[node])) < need {
@@ -257,6 +293,112 @@ func (g *GAS) DRAMmallocRep(size uint64, firstNode, nrNodes int, bs uint64, rep 
 	// Keep regions VA-sorted; allocations are monotone so append suffices.
 	g.regions = append(g.regions, r)
 	return r.Base, nil
+}
+
+// bestFit returns the offset of the smallest free extent on node able to
+// hold size bytes, without removing it (the planning phase of
+// DRAMmallocRep; ties go to the lowest offset because the list is sorted).
+func (g *GAS) bestFit(node int, size uint64) (off uint64, ok bool) {
+	best := -1
+	for i, e := range g.free[node] {
+		if e.Size >= size && (best < 0 || e.Size < g.free[node][best].Size) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	return g.free[node][best].Off, true
+}
+
+// takeExtent carves [off, off+size) out of the free extent starting at off
+// (the commit phase of a free-list reuse planned by bestFit).
+func (g *GAS) takeExtent(node int, off, size uint64) {
+	fl := g.free[node]
+	for i := range fl {
+		if fl[i].Off == off {
+			if fl[i].Size == size {
+				g.free[node] = append(fl[:i], fl[i+1:]...)
+			} else {
+				fl[i].Off += size
+				fl[i].Size -= size
+			}
+			return
+		}
+	}
+	panic(fmt.Sprintf("gasmem: takeExtent(node %d, 0x%x): no such free extent", node, off))
+}
+
+// putExtent returns [off, off+size) to node's free list, coalescing with
+// adjacent holes. A coalesced hole that reaches the bump high-water mark is
+// handed back to the bump allocator itself, so stack-like allocate/free
+// lifetimes (a serving loop recycling per-query state) keep UsedBytes flat
+// instead of fragmenting.
+func (g *GAS) putExtent(node int, off, size uint64) {
+	fl := g.free[node]
+	i := sort.Search(len(fl), func(i int) bool { return fl[i].Off >= off })
+	if i > 0 && fl[i-1].Off+fl[i-1].Size == off {
+		i--
+		fl[i].Size += size
+	} else {
+		fl = append(fl, extent{})
+		copy(fl[i+1:], fl[i:])
+		fl[i] = extent{Off: off, Size: size}
+	}
+	if i+1 < len(fl) && fl[i].Off+fl[i].Size == fl[i+1].Off {
+		fl[i].Size += fl[i+1].Size
+		fl = append(fl[:i+1], fl[i+2:]...)
+	}
+	if n := len(fl); n > 0 && fl[n-1].Off+fl[n-1].Size == g.used[node] {
+		g.used[node] = fl[n-1].Off
+		fl = fl[:n-1]
+	}
+	g.free[node] = fl
+}
+
+// FreeOwner reclaims every region tagged with the given owner: the regions
+// are unmapped — touching their VAs afterwards is a translation fault, the
+// simulated analogue of a use-after-free — and their physical bytes return
+// to per-node free lists for reuse by later allocations. It returns the
+// total physical footprint reclaimed across all nodes and replicas.
+// Virtual addresses are never recycled (the VA cursor stays monotone), so
+// a stale pointer can never silently alias a newer allocation.
+func (g *GAS) FreeOwner(id int) (freed uint64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if id == 0 {
+		return 0 // 0 means "untagged", not an owner
+	}
+	kept := g.regions[:0]
+	for _, r := range g.regions {
+		if r.Owner != id {
+			kept = append(kept, r)
+			continue
+		}
+		footprint := r.perNode * uint64(r.Rep)
+		for i := range r.nodes {
+			g.putExtent(int(r.nodes[i]), r.physBase[i], footprint)
+			freed += footprint
+		}
+	}
+	for i := len(kept); i < len(g.regions); i++ {
+		g.regions[i] = nil
+	}
+	g.regions = kept
+	return freed
+}
+
+// FreeBytes returns the bytes parked on node's free list: reclaimed but
+// not yet reused. Holes already returned to the bump pointer (UsedBytes
+// shrank) do not count.
+func (g *GAS) FreeBytes(node int) uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var total uint64
+	for _, e := range g.free[node] {
+		total += e.Size
+	}
+	return total
 }
 
 // SetReplication sets the default replication factor for subsequent
@@ -279,10 +421,10 @@ func (g *GAS) Replicated() bool { return g.replicated }
 //	prev := gas.SetOwner(jobID)
 //	defer gas.SetOwner(prev)
 //
-// Tagging is accounting only. The bump allocator cannot reclaim, so a
-// finished job's regions keep their bytes (and their tag) until the
-// machine is discarded — OwnerBytes reports a job's lifetime footprint,
-// not a live balance.
+// Tagging drives both accounting (OwnerBytes reports the live footprint of
+// a job's regions) and reclamation: FreeOwner hands a finished job's
+// regions back to per-node free lists, so long-lived multi-job machines no
+// longer leak DRAM footprint.
 func (g *GAS) SetOwner(id int) (prev int) {
 	g.mu.Lock()
 	defer g.mu.Unlock()

@@ -16,8 +16,10 @@ import (
 const (
 	snapMagic = "UDGASMEM"
 	// Version 2 added the replication descriptor fields (Rep, perNode,
-	// ring node assignments) to each region record.
-	snapVersion = uint32(2)
+	// ring node assignments) to each region record. Version 3 added the
+	// region Owner tag and the per-node free lists, so a restored machine
+	// can keep reclaiming finished jobs' regions.
+	snapVersion = uint32(3)
 )
 
 type snapWriter struct {
@@ -68,6 +70,13 @@ func (g *GAS) Snapshot(w io.Writer) error {
 	for _, u := range g.used {
 		sw.u64(u)
 	}
+	for _, fl := range g.free {
+		sw.u64(uint64(len(fl)))
+		for _, e := range fl {
+			sw.u64(e.Off)
+			sw.u64(e.Size)
+		}
+	}
 	sw.u64(uint64(len(g.regions)))
 	for _, r := range g.regions {
 		sw.u64(r.Base)
@@ -76,6 +85,7 @@ func (g *GAS) Snapshot(w io.Writer) error {
 		sw.u64(uint64(r.NRNodes))
 		sw.u64(r.BS)
 		sw.u64(uint64(r.Rep))
+		sw.u64(uint64(int64(r.Owner)))
 		sw.u64(r.perNode)
 		for _, nd := range r.nodes {
 			sw.u64(uint64(nd))
@@ -126,6 +136,25 @@ func (g *GAS) RestoreSnapshot(r io.Reader) error {
 	for i := range used {
 		used[i] = sr.u64()
 	}
+	free := make([][]extent, g.nodes)
+	for i := range free {
+		n := sr.u64()
+		if sr.err != nil {
+			break
+		}
+		if n > 1<<32 {
+			return fmt.Errorf("gasmem: implausible free-list length %d on node %d", n, i)
+		}
+		fl := make([]extent, n)
+		for j := range fl {
+			fl[j] = extent{Off: sr.u64(), Size: sr.u64()}
+			if sr.err == nil && (fl[j].Size == 0 || fl[j].Off+fl[j].Size > used[i] ||
+				(j > 0 && fl[j].Off < fl[j-1].Off+fl[j-1].Size)) {
+				return fmt.Errorf("gasmem: corrupt free extent %d on node %d", j, i)
+			}
+		}
+		free[i] = fl
+	}
 	nregions := sr.u64()
 	if sr.err == nil && nregions > 1<<32 {
 		return fmt.Errorf("gasmem: implausible region count %d", nregions)
@@ -139,6 +168,7 @@ func (g *GAS) RestoreSnapshot(r io.Reader) error {
 			NRNodes:   int(sr.u64()),
 			BS:        sr.u64(),
 			Rep:       int(sr.u64()),
+			Owner:     int(int64(sr.u64())),
 			perNode:   sr.u64(),
 		}
 		if sr.err != nil {
@@ -186,6 +216,7 @@ func (g *GAS) RestoreSnapshot(r io.Reader) error {
 	}
 	g.nextVA = nextVA
 	g.used = used
+	g.free = free
 	g.regions = regions
 	g.store = store
 	g.replicated = false

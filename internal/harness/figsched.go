@@ -382,7 +382,7 @@ func verifySolo(s *sched.Scheduler, protos []*schedProto, splits []*graph.SplitG
 			return verified, fmt.Errorf("solo replay of job %d (%s): alloc %d bytes vs %d",
 				j.ID, spec.Name, j2.AllocBytes, j.AllocBytes)
 		}
-		a, b := j.Work.Output(), j2.Work.Output()
+		a, b := j.Output(), j2.Output()
 		if len(a) != len(b) {
 			return verified, fmt.Errorf("solo replay of job %d (%s): output length %d vs %d", j.ID, spec.Name, len(b), len(a))
 		}

@@ -139,6 +139,10 @@ type Job struct {
 	State State
 	Part  Partition
 	Work  Workload
+	// out is the workload's result snapshot, captured at completion —
+	// before the job's DRAM regions are reclaimed, after which the
+	// workload can no longer read them.
+	out []uint64
 	// PostedAt is the cycle the start event was posted for (-1 until
 	// placed); DoneAt the exact in-sim completion cycle (-1 until done).
 	PostedAt updown.Cycles
@@ -149,12 +153,19 @@ type Job struct {
 	// the machine has metrics enabled.
 	Totals metrics.JobTotals
 	// AllocBytes is the physical DRAM footprint the job's Build phase
-	// allocated (replicas included), from gasmem owner tagging. The bump
-	// allocator cannot reclaim, so this is a lifetime figure.
+	// allocated (replicas included), from gasmem owner tagging. It is
+	// captured at build time; the regions themselves are reclaimed when
+	// the job finishes, so the machine's live footprint tracks live jobs.
 	AllocBytes uint64
 
 	scope *udweave.Scope
 }
+
+// Output returns the result words the workload reported at completion
+// (nil until Done). The snapshot is taken in finish, just before the
+// job's DRAM regions are reclaimed, so it stays valid for determinism
+// digests and solo-replay comparison after the memory is reused.
+func (j *Job) Output() []uint64 { return j.out }
 
 // Latency returns the job's sojourn time (arrival to completion) in
 // simulated cycles, or -1 if not done.
@@ -206,6 +217,7 @@ type Scheduler struct {
 	queue   []*Job // admitted, sorted by (Class desc, Arrive, ID)
 	active  []*Job // placed/running, in placement order
 	alloc   *nodeAlloc
+	pace    *Pacer
 	now     updown.Cycles
 }
 
@@ -223,7 +235,7 @@ func New(m *updown.Machine, cfg Config) *Scheduler {
 	if cfg.LabelHeadroom <= 0 {
 		cfg.LabelHeadroom = 64
 	}
-	s := &Scheduler{m: m, cfg: cfg, alloc: newNodeAlloc(m.Arch.Nodes)}
+	s := &Scheduler{m: m, cfg: cfg, alloc: newNodeAlloc(m.Arch.Nodes), pace: NewPacer(cfg.Quantum)}
 	if m.Telemetry != nil {
 		prev := m.Telemetry.Aux
 		m.Telemetry.Aux = func(snap *telemetry.Snapshot) {
@@ -291,29 +303,24 @@ func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
 
 // Run drives the reconcile loop until every submitted job is Done or
 // Failed. It may be called again after further Submits; the simulated
-// frontier only moves forward.
+// frontier only moves forward. Pacing — quantum grid, idle-gap jumps —
+// lives in the shared Pacer, which the query-serving layer reuses.
 func (s *Scheduler) Run() error {
-	for {
+	return s.pace.Drive(s.m.Engine, func(now updown.Cycles) (updown.Cycles, bool) {
+		s.now = now
 		s.reconcile()
 		if len(s.pending) == 0 && len(s.queue) == 0 && len(s.active) == 0 {
-			return nil
+			return 0, true
 		}
-		next := s.now + s.cfg.Quantum
 		if len(s.active) == 0 && len(s.queue) == 0 && len(s.pending) > 0 {
-			// Nothing running, nothing placeable: jump to the quantum
-			// boundary covering the next arrival instead of idling
-			// through empty slices. Boundaries stay on the same grid, so
-			// the jump cannot change any scheduling decision.
-			arrive := s.pending[0].Spec.Arrive
-			if arrive > next {
-				next = (arrive + s.cfg.Quantum - 1) / s.cfg.Quantum * s.cfg.Quantum
-			}
+			// Nothing running, nothing placeable: report the next arrival
+			// so the pacer jumps the idle gap instead of pacing through
+			// empty slices. The jump lands on the same quantum grid, so
+			// it cannot change any scheduling decision.
+			return s.pending[0].Spec.Arrive, false
 		}
-		if _, err := s.m.Engine.RunUntil(next); err != nil {
-			return err
-		}
-		s.now = next
-	}
+		return 0, false
+	})
 }
 
 // reconcile is one host-side state-machine step at a quiesced point.
@@ -361,7 +368,9 @@ func (s *Scheduler) completions() {
 }
 
 // finish moves a job to Done: collect attribution, retire its program
-// unit, release its partition.
+// unit, release its partition, and reclaim its DRAM regions so a
+// long-lived machine's footprint tracks live jobs, not lifetime jobs
+// (j.AllocBytes keeps the build-time figure for accounting).
 func (s *Scheduler) finish(j *Job, done updown.Cycles) {
 	j.DoneAt = done
 	j.State = Done
@@ -369,7 +378,9 @@ func (s *Scheduler) finish(j *Job, done updown.Cycles) {
 		j.Totals = s.m.Metrics.JobTotals(j.ID)
 		s.m.Metrics.UnbindNodes(j.Part.FirstNode, j.Part.NumNodes)
 	}
+	j.out = j.Work.Output()
 	s.m.Prog.Retire(j.scope)
+	s.m.GAS.FreeOwner(ownerTag(j.ID))
 	s.alloc.release(j.Part.FirstNode, j.Part.NumNodes)
 }
 
@@ -381,6 +392,7 @@ func (s *Scheduler) fail(j *Job, err error) {
 		s.m.Prog.Retire(j.scope)
 		j.scope = nil
 	}
+	s.m.GAS.FreeOwner(ownerTag(j.ID))
 	if j.Part.NumNodes > 0 {
 		if s.m.Metrics != nil {
 			s.m.Metrics.UnbindNodes(j.Part.FirstNode, j.Part.NumNodes)
@@ -389,6 +401,12 @@ func (s *Scheduler) fail(j *Job, err error) {
 		j.Part = Partition{}
 	}
 }
+
+// ownerTag maps a job ID to its gasmem owner tag. Job IDs start at 0 but
+// tag 0 means "untagged" to the allocator, so jobs tag with ID+1 — that
+// keeps job 0's footprint distinct from host-side machine state (resident
+// graphs, scratch) and makes every job's regions reclaimable.
+func ownerTag(jobID int) int { return jobID + 1 }
 
 // arrivals admits every pending job whose arrival cycle has been
 // reached, enforcing the queue bound with priority displacement: a full
@@ -454,11 +472,11 @@ func (s *Scheduler) place() {
 		part := Partition{FirstNode: first, NumNodes: nodes,
 			Lanes: kvmsr.LaneSet{First: updown.NetworkID(first * lpn), Count: nodes * lpn}}
 		sc := s.m.Prog.Begin(fmt.Sprintf("job-%d:%s", j.ID, j.Spec.Name))
-		prevOwner := s.m.GAS.SetOwner(j.ID)
+		prevOwner := s.m.GAS.SetOwner(ownerTag(j.ID))
 		w, err := j.Spec.Build(s.m, part)
 		s.m.GAS.SetOwner(prevOwner)
 		s.m.Prog.End()
-		j.AllocBytes = s.m.GAS.OwnerBytes(j.ID)
+		j.AllocBytes = s.m.GAS.OwnerBytes(ownerTag(j.ID))
 		if err != nil {
 			j.scope = sc
 			j.Part = part

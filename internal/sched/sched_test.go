@@ -331,7 +331,7 @@ func fingerprint(j *sched.Job) jobFingerprint {
 		doneAt:     j.DoneAt,
 		totals:     j.Totals,
 		allocBytes: j.AllocBytes,
-		outDigest:  digest(j.Work.Output()),
+		outDigest:  digest(j.Output()),
 	}
 }
 
@@ -481,6 +481,46 @@ func TestSchedulerShardDeterminism(t *testing.T) {
 			if got[i] != ref[i] {
 				t.Errorf("shards=%d: job %d fingerprint diverged:\n  got %+v\n  ref %+v", shards, i, got[i], ref[i])
 			}
+		}
+	}
+}
+
+// A long-lived machine serving a stream of jobs must not leak DRAM: every
+// finished job's owner-tagged regions return to the gasmem free list, so
+// per-node footprint is flat from the first job onward even though each
+// build phase allocates fresh regions.
+func TestFinishedJobsReclaimDRAM(t *testing.T) {
+	m := testMachine(t, 2, 1, false)
+	s := sched.New(m, sched.Config{Quantum: 1024})
+	var highWater uint64
+	for q := 0; q < 16; q++ {
+		j, err := s.Submit(sched.JobSpec{
+			Name: fmt.Sprintf("q%d", q), Tenant: "t", Lanes: m.Arch.LanesPerNode(),
+			Build: func(m *updown.Machine, part sched.Partition) (sched.Workload, error) {
+				n := gasmem.FloorPow2(part.NumNodes)
+				if _, err := m.GAS.DRAMmalloc(1<<16, part.FirstNode, n, 1024); err != nil {
+					return nil, err
+				}
+				return newTinyWork(m, part, 100), nil
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if j.State != sched.Done {
+			t.Fatalf("job %d state %v: %v", q, j.State, j.Err)
+		}
+		if j.AllocBytes == 0 {
+			t.Fatalf("job %d: AllocBytes not captured at build time", q)
+		}
+		got := m.GAS.UsedBytes(0) + m.GAS.FreeBytes(0)
+		if q == 0 {
+			highWater = got
+		} else if got != highWater {
+			t.Fatalf("job %d: node 0 footprint %d, want flat %d", q, got, highWater)
 		}
 	}
 }

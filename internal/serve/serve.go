@@ -1,0 +1,435 @@
+// Package serve is the interactive query-serving layer: it keeps one
+// warm machine resident — graph loaded, KVMSR point engines built — and
+// drives an open-loop stream of point queries (BFS reachability,
+// personalized PageRank) through it, measuring queries/sec and tail
+// latency instead of batch makespan.
+//
+// The serving loop runs on the scheduler's Pacer: host admission,
+// batching and harvest decisions all happen at fixed quantum boundaries
+// of simulated time, so the interleaving of arrivals and execution is a
+// pure function of the schedule and the quantum — results and latencies
+// are byte-identical at any shard count.
+//
+// The fast path is shared-arrival micro-batching: queries that arrive
+// within a fuse window are seeded into one engine batch and ride a
+// single map/drain cycle of the resident KVMSR invocation, amortizing
+// the per-round launch/drain barrier that dominates point-query cost.
+// Query descriptors live in the caller's schedule slice and every
+// server-side list is preallocated at Run entry, so the steady-state
+// loop does not allocate per query.
+package serve
+
+import (
+	"fmt"
+	"sort"
+
+	"updown"
+	"updown/internal/apps/bfs"
+	"updown/internal/apps/pagerank"
+	"updown/internal/sched"
+	"updown/internal/sim"
+	"updown/internal/telemetry"
+)
+
+// Kind selects the point engine a query runs on.
+type Kind uint8
+
+const (
+	KindBFS Kind = iota
+	KindPPR
+	numKinds
+)
+
+// String names the kind for telemetry labels.
+func (k Kind) String() string {
+	if k == KindBFS {
+		return "bfs"
+	}
+	return "ppr"
+}
+
+// State is a query descriptor's lifecycle position.
+type State uint8
+
+const (
+	// Waiting: not yet arrived (relative to the simulated clock).
+	Waiting State = iota
+	// Queued: arrived, in the waiting room.
+	Queued
+	// Inflight: seeded into an engine slot, batch posted.
+	Inflight
+	// Resolved: answered; Result/Done are valid.
+	Resolved
+	// Shed: dropped at admission because the waiting room was full.
+	Shed
+)
+
+// Query is one point-query descriptor. The caller fills Kind, Src, Tgt
+// and Arrive; the server fills the rest in place — descriptors are never
+// copied or reallocated while serving.
+type Query struct {
+	Kind   Kind
+	Src    uint32
+	Tgt    uint32
+	Arrive updown.Cycles
+
+	// Start is the cycle the query's batch was posted; Done is the
+	// in-simulation cycle its slot resolved. Latency is Done-Arrive.
+	Start updown.Cycles
+	Done  updown.Cycles
+	// Slot is the engine slot the query ran in; Batch numbers the engine
+	// batch (per kind) it rode.
+	Slot  int
+	Batch int
+	// Result is the raw answer: dist+1 (0 = unreached) for BFS, the
+	// fixed-point score for PPR. Reached mirrors BFS reachability.
+	Result  uint64
+	Reached bool
+	State   State
+}
+
+// Latency returns the sojourn time of a resolved query.
+func (q *Query) Latency() updown.Cycles { return q.Done - q.Arrive }
+
+// pointEngine is the slice of a resident point engine the server drives.
+// bfs.PointBFS and pagerank.PointPPR both satisfy it via thin adapters.
+type pointEngine interface {
+	Slots() int
+	Seed(slot int, src, tgt uint32)
+	Post(at updown.Cycles)
+	BatchDone() (updown.Cycles, bool)
+	DoneCycle(slot int) updown.Cycles
+	Recycle(slot int)
+	Result(slot int) (uint64, bool)
+}
+
+type bfsEngine struct{ *bfs.PointBFS }
+
+func (e bfsEngine) Result(slot int) (uint64, bool) {
+	d, ok := e.PointBFS.Result(slot)
+	if !ok {
+		return 0, false
+	}
+	return d + 1, true
+}
+
+type pprEngine struct{ *pagerank.PointPPR }
+
+func (e pprEngine) Result(slot int) (uint64, bool) { return e.PointPPR.Result(slot), true }
+
+// Config wires a server to its engines and sets the serving policy.
+type Config struct {
+	// BFS and PPR are the resident point engines; either may be nil if
+	// the schedule never uses that kind.
+	BFS *bfs.PointBFS
+	PPR *pagerank.PointPPR
+	// Quantum is the pacer grid (default sched.DefaultQuantum).
+	Quantum updown.Cycles
+	// FuseWindow is the micro-batching hold-off: a batch launches once
+	// its oldest queued query has waited this long (or the batch is
+	// full). Zero launches at the first boundary after arrival.
+	FuseWindow updown.Cycles
+	// MaxBatch caps queries fused into one engine batch; 0 means the
+	// engine's slot capacity. 1 is the unfused one-query-per-cycle
+	// baseline the benchmark compares against.
+	MaxBatch int
+	// QueueCap bounds the per-kind waiting room (default 256); arrivals
+	// that find it full are shed, which keeps tail latency bounded
+	// instead of unbounded under overload.
+	QueueCap int
+}
+
+// Stats is the aggregate serving outcome of one Run.
+type Stats struct {
+	Served   [2]int
+	ShedN    [2]int
+	Batches  [2]int
+	Sim      sim.Stats
+	// First/Last bracket the stream: first arrival to last resolution.
+	First, Last updown.Cycles
+}
+
+// Server drives point-query schedules through a resident machine.
+type Server struct {
+	m    *updown.Machine
+	cfg  Config
+	pace *sched.Pacer
+	eng  [numKinds]pointEngine
+
+	queries  []Query
+	next     int
+	queue    [numKinds][]int
+	inflight [numKinds][]int
+	batchAt  [numKinds]updown.Cycles
+	stats    Stats
+	lat      [numKinds][]updown.Cycles
+}
+
+// New builds a server over a warm machine. The engines must already be
+// built against the machine's resident graph.
+func New(m *updown.Machine, cfg Config) (*Server, error) {
+	if cfg.BFS == nil && cfg.PPR == nil {
+		return nil, fmt.Errorf("serve: no engines configured")
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 256
+	}
+	s := &Server{m: m, cfg: cfg, pace: sched.NewPacer(cfg.Quantum)}
+	if cfg.BFS != nil {
+		s.eng[KindBFS] = bfsEngine{cfg.BFS}
+	}
+	if cfg.PPR != nil {
+		s.eng[KindPPR] = pprEngine{cfg.PPR}
+	}
+	for k := range s.eng {
+		if s.eng[k] == nil {
+			continue
+		}
+		cap := s.eng[k].Slots()
+		s.inflight[k] = make([]int, 0, cap)
+		s.queue[k] = make([]int, 0, s.cfg.QueueCap)
+	}
+	s.installTelemetry()
+	return s, nil
+}
+
+// maxBatch resolves the per-batch cap for a kind.
+func (s *Server) maxBatch(k Kind) int {
+	n := s.eng[k].Slots()
+	if s.cfg.MaxBatch > 0 && s.cfg.MaxBatch < n {
+		n = s.cfg.MaxBatch
+	}
+	return n
+}
+
+// Now returns the simulated frontier the server has paced to.
+func (s *Server) Now() updown.Cycles { return s.pace.Now() }
+
+// Stats returns the aggregate outcome of the last Run.
+func (s *Server) Stats() Stats { return s.stats }
+
+// accumEngine records the engine's statistics as the pacer drives it.
+// Engine stats are cumulative over the machine's life (reset only by a
+// checkpoint restore), so the last RunUntil's snapshot is the total for
+// the whole serving interval.
+type accumEngine struct {
+	e   *sim.Engine
+	tot *sim.Stats
+}
+
+func (a accumEngine) RunUntil(t updown.Cycles) (sim.Stats, error) {
+	st, err := a.e.RunUntil(t)
+	*a.tot = st
+	return st, err
+}
+
+// Run serves the whole schedule (ascending Arrive, caller-owned; answers
+// are written into it in place) and returns when every query is resolved
+// or shed. Run may be called again with a new schedule; simulated time
+// keeps advancing.
+func (s *Server) Run(queries []Query) error {
+	for i := 1; i < len(queries); i++ {
+		if queries[i].Arrive < queries[i-1].Arrive {
+			return fmt.Errorf("serve: schedule not sorted by arrival at %d", i)
+		}
+	}
+	for i := range queries {
+		if s.eng[queries[i].Kind] == nil {
+			return fmt.Errorf("serve: query %d uses kind %v with no engine", i, queries[i].Kind)
+		}
+	}
+	s.queries = queries
+	s.next = 0
+	if len(queries) > 0 {
+		s.stats.First = queries[0].Arrive
+	}
+	for k := range s.lat {
+		if s.lat[k] == nil && s.eng[k] != nil {
+			s.lat[k] = make([]updown.Cycles, 0, len(queries))
+		}
+	}
+	return s.pace.Drive(accumEngine{s.m.Engine, &s.stats.Sim}, s.step)
+}
+
+// step is one host reconcile pass at a quantum boundary: harvest
+// completed batches, admit arrivals, launch fused batches, then report
+// how far the loop may fast-forward.
+func (s *Server) step(now updown.Cycles) (idleUntil updown.Cycles, done bool) {
+	s.harvest()
+	s.admit(now)
+	s.launch(now)
+
+	if s.next >= len(s.queries) {
+		done = true
+		for k := range s.eng {
+			if len(s.inflight[k]) > 0 || len(s.queue[k]) > 0 {
+				done = false
+			}
+		}
+		if done {
+			return 0, true
+		}
+	}
+
+	// Idle fast-forward: when nothing is in flight, jump to the earliest
+	// cycle at which a host decision can change — the next arrival or the
+	// oldest queued query's fuse deadline.
+	idleUntil = updown.Cycles(1) << 62
+	busy := false
+	for k := range s.eng {
+		if len(s.inflight[k]) > 0 {
+			busy = true
+		}
+		if len(s.queue[k]) > 0 {
+			ddl := s.queries[s.queue[k][0]].Arrive + s.cfg.FuseWindow
+			if ddl < idleUntil {
+				idleUntil = ddl
+			}
+		}
+	}
+	if busy {
+		return 0, false
+	}
+	if s.next < len(s.queries) && s.queries[s.next].Arrive < idleUntil {
+		idleUntil = s.queries[s.next].Arrive
+	}
+	return idleUntil, false
+}
+
+// harvest collects every completed batch: read results, stamp done
+// cycles, recycle the slots.
+func (s *Server) harvest() {
+	for k := range s.eng {
+		if len(s.inflight[k]) == 0 {
+			continue
+		}
+		bd, ok := s.eng[k].BatchDone()
+		if !ok {
+			continue
+		}
+		for _, qi := range s.inflight[k] {
+			q := &s.queries[qi]
+			q.Result, q.Reached = s.eng[k].Result(q.Slot)
+			q.Done = s.eng[k].DoneCycle(q.Slot)
+			if q.Done == 0 || q.Done > bd {
+				q.Done = bd
+			}
+			q.State = Resolved
+			s.eng[k].Recycle(q.Slot)
+			s.stats.Served[k]++
+			s.lat[k] = append(s.lat[k], q.Latency())
+			if q.Done > s.stats.Last {
+				s.stats.Last = q.Done
+			}
+		}
+		s.inflight[k] = s.inflight[k][:0]
+	}
+}
+
+// admit moves arrived queries into their kind's waiting room, shedding
+// on overflow.
+func (s *Server) admit(now updown.Cycles) {
+	for s.next < len(s.queries) && s.queries[s.next].Arrive <= now {
+		q := &s.queries[s.next]
+		k := q.Kind
+		if len(s.queue[k]) >= s.cfg.QueueCap {
+			q.State = Shed
+			s.stats.ShedN[k]++
+		} else {
+			q.State = Queued
+			s.queue[k] = append(s.queue[k], s.next)
+		}
+		s.next++
+	}
+}
+
+// launch seeds one fused batch per idle engine when the batching policy
+// fires: the batch is full, the fuse window expired, or the schedule has
+// drained (no later arrival can ever join).
+func (s *Server) launch(now updown.Cycles) {
+	for k := range s.eng {
+		if s.eng[k] == nil || len(s.inflight[k]) > 0 || len(s.queue[k]) == 0 {
+			continue
+		}
+		limit := s.maxBatch(Kind(k))
+		oldest := s.queries[s.queue[k][0]].Arrive
+		if len(s.queue[k]) < limit && now < oldest+s.cfg.FuseWindow && s.next < len(s.queries) {
+			continue
+		}
+		n := len(s.queue[k])
+		if n > limit {
+			n = limit
+		}
+		at := now + 1
+		for slot := 0; slot < n; slot++ {
+			q := &s.queries[s.queue[k][slot]]
+			s.eng[k].Seed(slot, q.Src, q.Tgt)
+			q.Slot = slot
+			q.Start = at
+			q.Batch = s.stats.Batches[k]
+			q.State = Inflight
+		}
+		s.inflight[k] = append(s.inflight[k], s.queue[k][:n]...)
+		s.queue[k] = append(s.queue[k][:0], s.queue[k][n:]...)
+		s.eng[k].Post(at)
+		s.batchAt[k] = at
+		s.stats.Batches[k]++
+	}
+}
+
+// installTelemetry chains per-kind query serving gauges onto the
+// machine's snapshot publisher (no-op without telemetry).
+func (s *Server) installTelemetry() {
+	if s.m.Telemetry == nil {
+		return
+	}
+	prev := s.m.Telemetry.Aux
+	s.m.Telemetry.Aux = func(snap *telemetry.Snapshot) {
+		if prev != nil {
+			prev(snap)
+		}
+		for k := range s.eng {
+			if s.eng[k] == nil {
+				continue
+			}
+			qs := telemetry.QueryStat{
+				Kind:     Kind(k).String(),
+				Served:   int64(s.stats.Served[k]),
+				Shed:     int64(s.stats.ShedN[k]),
+				Queued:   len(s.queue[k]),
+				Inflight: len(s.inflight[k]),
+				Batches:  int64(s.stats.Batches[k]),
+			}
+			if qs.Batches > 0 {
+				qs.FusedPerBatch = float64(qs.Served) / float64(qs.Batches)
+			}
+			if n := len(s.lat[k]); n > 0 {
+				qs.P50Ms = s.m.Seconds(percentile(s.lat[k], 50)) * 1e3
+				qs.P99Ms = s.m.Seconds(percentile(s.lat[k], 99)) * 1e3
+			}
+			snap.Queries = append(snap.Queries, qs)
+		}
+	}
+}
+
+// percentile returns the p-th percentile of latencies (sorts a copy; the
+// serving loop itself never reorders the log).
+func percentile(lat []updown.Cycles, p int) updown.Cycles {
+	c := make([]updown.Cycles, len(lat))
+	copy(c, lat)
+	sort.Slice(c, func(a, b int) bool { return c[a] < c[b] })
+	i := len(c) * p / 100
+	if i >= len(c) {
+		i = len(c) - 1
+	}
+	return c[i]
+}
+
+// Percentile exposes the latency percentile of one kind's resolved
+// queries from the last Run (harness reporting).
+func (s *Server) Percentile(k Kind, p int) updown.Cycles {
+	if len(s.lat[k]) == 0 {
+		return 0
+	}
+	return percentile(s.lat[k], p)
+}

@@ -181,4 +181,46 @@ func WriteProm(b *strings.Builder, s *Snapshot) {
 			fmt.Fprintf(b, "updown_job_alloc_bytes{job=\"%d\",tenant=%q} %d\n", j.ID, j.Tenant, j.AllocBytes)
 		}
 	}
+	if len(s.Queries) > 0 {
+		fmt.Fprintf(b, "# HELP updown_query_served_total point queries resolved per kind\n# TYPE updown_query_served_total counter\n")
+		for i := range s.Queries {
+			q := &s.Queries[i]
+			fmt.Fprintf(b, "updown_query_served_total{kind=%q} %d\n", q.Kind, q.Served)
+		}
+		fmt.Fprintf(b, "# HELP updown_query_shed_total point queries shed at admission per kind\n# TYPE updown_query_shed_total counter\n")
+		for i := range s.Queries {
+			q := &s.Queries[i]
+			fmt.Fprintf(b, "updown_query_shed_total{kind=%q} %d\n", q.Kind, q.Shed)
+		}
+		fmt.Fprintf(b, "# HELP updown_query_batches_total engine micro-batches posted per kind\n# TYPE updown_query_batches_total counter\n")
+		for i := range s.Queries {
+			q := &s.Queries[i]
+			fmt.Fprintf(b, "updown_query_batches_total{kind=%q} %d\n", q.Kind, q.Batches)
+		}
+		fmt.Fprintf(b, "# HELP updown_query_queued waiting-room depth per kind\n# TYPE updown_query_queued gauge\n")
+		for i := range s.Queries {
+			q := &s.Queries[i]
+			fmt.Fprintf(b, "updown_query_queued{kind=%q} %d\n", q.Kind, q.Queued)
+		}
+		fmt.Fprintf(b, "# HELP updown_query_inflight queries currently seeded in engine slots per kind\n# TYPE updown_query_inflight gauge\n")
+		for i := range s.Queries {
+			q := &s.Queries[i]
+			fmt.Fprintf(b, "updown_query_inflight{kind=%q} %d\n", q.Kind, q.Inflight)
+		}
+		fmt.Fprintf(b, "# HELP updown_query_fused_per_batch mean micro-batch occupancy per kind\n# TYPE updown_query_fused_per_batch gauge\n")
+		for i := range s.Queries {
+			q := &s.Queries[i]
+			fmt.Fprintf(b, "updown_query_fused_per_batch{kind=%q} %g\n", q.Kind, q.FusedPerBatch)
+		}
+		fmt.Fprintf(b, "# HELP updown_query_p50_ms median query sojourn latency in simulated ms\n# TYPE updown_query_p50_ms gauge\n")
+		for i := range s.Queries {
+			q := &s.Queries[i]
+			fmt.Fprintf(b, "updown_query_p50_ms{kind=%q} %g\n", q.Kind, q.P50Ms)
+		}
+		fmt.Fprintf(b, "# HELP updown_query_p99_ms tail query sojourn latency in simulated ms\n# TYPE updown_query_p99_ms gauge\n")
+		for i := range s.Queries {
+			q := &s.Queries[i]
+			fmt.Fprintf(b, "updown_query_p99_ms{kind=%q} %g\n", q.Kind, q.P99Ms)
+		}
+	}
 }

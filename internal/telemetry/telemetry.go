@@ -131,6 +131,32 @@ type Snapshot struct {
 	// Jobs holds one row per scheduler job (submitted so far), filled by
 	// the scheduler's Aux hook; empty for single-job runs.
 	Jobs []JobStat `json:"jobs,omitempty"`
+
+	// Queries holds one row per point-query kind, filled by the serving
+	// layer's Aux hook; empty when no query server drives the machine.
+	Queries []QueryStat `json:"queries,omitempty"`
+}
+
+// QueryStat is one query kind's serving-state row in a Snapshot, filled
+// by the serve package's Aux hook.
+type QueryStat struct {
+	// Kind is the point-engine kind ("bfs", "ppr").
+	Kind string `json:"kind"`
+	// Served and Shed count resolved and admission-dropped queries.
+	Served int64 `json:"served"`
+	Shed   int64 `json:"shed"`
+	// Queued and Inflight are the instantaneous waiting-room depth and
+	// in-engine query count.
+	Queued   int `json:"queued"`
+	Inflight int `json:"inflight"`
+	// Batches counts engine micro-batches posted; FusedPerBatch is the
+	// mean batch occupancy (the micro-batching win).
+	Batches       int64   `json:"batches"`
+	FusedPerBatch float64 `json:"fused_per_batch"`
+	// P50Ms / P99Ms are sojourn-latency percentiles over all resolved
+	// queries, in simulated milliseconds.
+	P50Ms float64 `json:"p50_ms"`
+	P99Ms float64 `json:"p99_ms"`
 }
 
 // ETASeconds estimates the wall seconds remaining until SimTime reaches

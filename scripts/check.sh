@@ -42,6 +42,12 @@ go run ./cmd/figchaos -rep 2 -scale 8
 go run ./cmd/fig12 -scale 10 -mem 4 -compute 4 -reps 2 \
     | awk '/^k=2/ { if ($8 <= 1.0) { print "fig12 k=2 dramx <= 1: no write fan-out measured"; exit 1 } found=1 } END { exit !found }'
 
+# Serving smoke: a small figserve sweep must resolve every query, and
+# fused micro-batching must beat the one-query-per-cycle baseline at
+# the saturating load point (higher queries/sec on the same stream).
+go run ./cmd/figserve -queries 12 -gaps 8000,3000 \
+    | awk '/^saturation:/ { if ($3+0 <= $7+0) { print "figserve: fused qps not above unfused"; exit 1 } found=1 } END { exit !found }'
+
 # Scheduler smoke: a small multi-tenant sweep with -verify replays every
 # completed job solo, pinned to the same nodes, and exits nonzero unless
 # outputs, completion cycles and attributed totals are bit-identical to
